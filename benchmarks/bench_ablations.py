@@ -1,0 +1,66 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+Not paper figures: these quantify the packetization granularity, TLB page
+size, credit depth, striping, and completion-writeback decisions.
+"""
+
+from conftest import one_shot
+
+from repro.experiments import (
+    run_ablation_credits,
+    run_ablation_packet_size,
+    run_ablation_page_size,
+    run_ablation_striping,
+    run_ablation_writeback,
+)
+
+
+def test_ablation_packet_size(benchmark, report):
+    result = one_shot(benchmark, run_ablation_packet_size, sizes=(512, 2048, 4096, 16384))
+    report(result)
+    series = {row["packet_bytes"]: row["throughput_gbps"] for row in result.rows}
+    # 4 KB packets must recover most of the large-packet bandwidth...
+    assert series[4096] > 0.9 * series[16384]
+    # ...while tiny packets lose noticeably to per-packet overheads.
+    assert series[512] < series[4096]
+
+
+def test_ablation_page_size(benchmark, report):
+    result = one_shot(benchmark, run_ablation_page_size)
+    report(result)
+    rows = {row["page_size"]: row for row in result.rows}
+    # 1 GB pages take ~1 fault for the 64 MB set; 2 MB pages take 32.
+    assert rows["2MB"]["page_faults"] > 10 * rows["1GB"]["page_faults"]
+
+
+def test_ablation_credits(benchmark, report):
+    result = one_shot(benchmark, run_ablation_credits, depths=(2, 8, 32))
+    report(result)
+    series = {row["credits"]: row["throughput_gbps"] for row in result.rows}
+    assert series[2] < series[8]  # starved
+    assert series[32] < series[8] * 1.2  # diminishing returns
+
+
+def test_ablation_striping(benchmark, report):
+    result = one_shot(benchmark, run_ablation_striping)
+    report(result)
+    rows = {row["mode"]: row["throughput_gbps"] for row in result.rows}
+    assert rows["striped (8 streams)"] > 4 * rows["single channel"]
+
+
+def test_ablation_writeback(benchmark, report):
+    result = one_shot(benchmark, run_ablation_writeback)
+    report(result)
+    rows = {row["mode"]: row["latency_per_4k_transfer_us"] for row in result.rows}
+    assert rows["writeback"] < rows["MMIO polling"]
+
+
+def test_ablation_transport(benchmark, report):
+    from repro.experiments import run_ablation_transport
+
+    result = one_shot(benchmark, run_ablation_transport)
+    report(result)
+    rows = {row["transport"]: row for row in result.rows}
+    # One-sided RDMA beats the TCP byte stream on the same wire.
+    assert rows["rdma"]["goodput_gbps"] > 2 * rows["tcp"]["goodput_gbps"]
+    assert rows["rdma"]["latency_us"] < rows["tcp"]["latency_us"]

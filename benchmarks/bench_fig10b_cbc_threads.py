@@ -1,0 +1,22 @@
+"""Figure 10(b): AES CBC throughput scaling with cThreads (32 KB msgs).
+
+Each software thread fills one of the 10 pipeline stages the chained
+cipher would otherwise leave idle; throughput must scale ~linearly to the
+pipeline depth (the paper's 7x idle-time reduction at 8+ threads).
+"""
+
+from conftest import one_shot
+
+from repro.experiments import run_fig10b
+
+
+def test_fig10b_linear_scaling(benchmark, report):
+    result = one_shot(benchmark, run_fig10b, threads=(1, 2, 4, 8, 10))
+    report(result)
+    series = {row["threads"]: row["speedup"] for row in result.rows}
+    assert series[2] > 1.85
+    assert series[4] > 3.5
+    assert series[8] > 6.7  # the paper's "up to 7x idle-time reduction"
+    assert series[10] > 8.0
+    # No superlinear artifacts.
+    assert series[10] <= 10.5

@@ -1,0 +1,33 @@
+"""Figure 7(a): data-transfer throughput scaling with HBM channels.
+
+A card-memory pass-through in one vFPGA, swept over the number of
+parallel card streams (channels).  The curve must rise linearly at low
+channel counts and taper off as the shared MMU translation pipeline (the
+memory-virtualization overhead) saturates.
+"""
+
+from conftest import one_shot
+
+from repro.experiments import run_fig7a
+
+
+def test_fig7a_hbm_scaling(benchmark, report):
+    result = one_shot(benchmark, run_fig7a, channels=(1, 2, 4, 8, 16, 32), transfer_mb=2)
+    report(result)
+    series = {row["channels"]: row["throughput_gbps"] for row in result.rows}
+    # Linear regime: 4 channels within 15% of 4x a single channel.
+    assert series[4] > 3.4 * series[1]
+    # Taper: 32 channels is NOT 32x — virtualization overhead binds.
+    assert series[32] < 16 * series[1]
+    # ...but still monotonically non-decreasing.
+    values = [series[c] for c in (1, 2, 4, 8, 16, 32)]
+    assert all(b >= a * 0.98 for a, b in zip(values, values[1:]))
+
+
+def test_fig7a_mmu_bypass_lifts_the_taper(report):
+    """Paper: bypassing the MMU exposes raw channel bandwidth."""
+    from repro.experiments import hbm_throughput
+
+    with_mmu = hbm_throughput(16, transfer_mb=1)
+    bypassed = hbm_throughput(16, transfer_mb=1, mmu_bypass=True)
+    assert bypassed > with_mmu

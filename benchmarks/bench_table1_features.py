@@ -1,0 +1,33 @@
+"""Table 1: feature comparison of FPGA shells.
+
+Regenerates the matrix and asserts the paper's headline claims about
+Coyote v2's position in it.
+"""
+
+from conftest import one_shot
+
+from repro.baselines import FEATURE_COLUMNS, FEATURE_MATRIX, Support, coyote_v2_row
+from repro.experiments import run_table1
+
+
+def test_table1_feature_matrix(benchmark, report):
+    result = one_shot(benchmark, run_table1)
+    report(result)
+    assert len(result.rows) == len(FEATURE_MATRIX) == 15
+
+
+def test_coyote_v2_supports_every_column():
+    row = coyote_v2_row()
+    for column in FEATURE_COLUMNS:
+        assert row.supports(column) is Support.YES, column
+    assert row.app_interface == "Host, card, net (multiple)"
+
+
+def test_coyote_v2_is_only_shell_with_multithreading():
+    with_mt = [s.name for s in FEATURE_MATRIX if s.multi_threading is Support.YES]
+    assert with_mt == ["Coyote v2"]
+
+
+def test_coyote_v2_is_only_shell_with_service_reconfig():
+    full = [s.name for s in FEATURE_MATRIX if s.service_reconfig is Support.YES]
+    assert full == ["Coyote v2"]

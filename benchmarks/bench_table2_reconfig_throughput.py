@@ -1,0 +1,29 @@
+"""Table 2: reconfiguration throughput of the configuration ports.
+
+Streams the same partial bitstream through AXI HWICAP, PCAP, MCAP and the
+Coyote v2 ICAP controller; the measured MB/s must match the paper's rows.
+"""
+
+import pytest
+from conftest import one_shot
+
+from repro.experiments import run_table2
+
+
+def test_table2_reconfig_throughput(benchmark, report):
+    result = one_shot(benchmark, run_table2)
+    report(result)
+    by_name = {row["application"]: row for row in result.rows}
+    for name, expected in [
+        ("AXI HWICAP", 19),
+        ("PCAP", 128),
+        ("MCAP", 145),
+        ("Coyote v2 ICAP", 800),
+    ]:
+        assert by_name[name]["max_throughput_mbps"] == pytest.approx(expected, rel=0.02)
+    # The headline: Coyote's controller is the fastest by a wide margin.
+    coyote = by_name["Coyote v2 ICAP"]["max_throughput_mbps"]
+    best_baseline = max(
+        by_name[n]["max_throughput_mbps"] for n in ("AXI HWICAP", "PCAP", "MCAP")
+    )
+    assert coyote / best_baseline > 5

@@ -1,0 +1,28 @@
+"""Table 3: shell reconfiguration latency for three scenarios.
+
+Kernel latency (pure ICAP), total latency (+ disk read + copy to kernel
+space) and the Vivado Hardware Manager full-reprogramming baseline.
+"""
+
+import pytest
+from conftest import one_shot
+
+from repro.experiments import run_table3
+
+
+def test_table3_reconfig_latency(benchmark, report):
+    result = one_shot(benchmark, run_table3, trials=5)
+    report(result)
+    for row in result.rows:
+        # Within 12% of the paper's measurements.
+        assert row["kernel_ms"] == pytest.approx(row["paper_kernel_ms"], rel=0.12)
+        assert row["total_ms"] == pytest.approx(row["paper_total_ms"], rel=0.12)
+        assert row["vivado_ms"] == pytest.approx(row["paper_vivado_ms"], rel=0.12)
+        # The order-of-magnitude claim.
+        assert row["vivado_ms"] / row["total_ms"] > 10
+
+
+def test_latency_grows_with_scenario_complexity(report):
+    result = run_table3(trials=1)
+    kernels = [row["kernel_ms"] for row in result.rows]
+    assert kernels == sorted(kernels)

@@ -1,0 +1,29 @@
+"""Shared fixtures for the paper-reproduction benchmarks.
+
+Each ``bench_*`` file regenerates one table or figure of the paper's
+evaluation via :mod:`repro.experiments` and reports the reproduced
+rows/series; pytest-benchmark measures the wall-clock cost of the
+underlying simulation.  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+import pytest
+
+
+@pytest.fixture
+def report(capsys):
+    """Print an ExperimentResult so it survives pytest's capture."""
+
+    def _report(result):
+        with capsys.disabled():
+            print()
+            print(result.render())
+        return result
+
+    return _report
+
+
+def one_shot(benchmark, fn, *args, **kwargs):
+    """Run an expensive simulation once under pytest-benchmark."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""FPGA-cluster collectives over RDMA (the paper's stated future work).
+
+Four simulated FPGA nodes on one switch form a communicator over a full
+queue-pair mesh.  The example runs:
+
+* a binomial-tree **broadcast** of model weights from rank 0, and
+* a bandwidth-optimal ring **allreduce** summing per-node gradient
+  vectors — the pattern distributed training uses, and what the ACCL+
+  collective engine the conclusion cites provides on real Coyote.
+
+Run:  python examples/collective_allreduce.py
+"""
+
+import numpy as np
+
+from repro.mem import SparseMemory
+from repro.net import Cmac, CollectiveGroup, MacAddress, RdmaStack, Switch
+from repro.sim import AllOf, Environment
+
+NODES = 4
+ELEMENTS = 4096  # int32 gradient vector length (divisible by NODES)
+
+
+def make_cluster(env, n):
+    switch = Switch(env)
+    stacks = []
+    for i in range(n):
+        mac = MacAddress(0x02_0000_3000 + i)
+        cmac = Cmac(env, name=f"fpga{i}")
+        switch.attach(mac, cmac)
+        stack = RdmaStack(env, cmac, mac, 0x0A000200 + i, name=f"fpga{i}")
+        memory = SparseMemory(1 << 24)
+
+        def read_local(vaddr, length, memory=memory):
+            yield env.timeout(length / 12.0)
+            return memory.read(vaddr, length)
+
+        def write_local(vaddr, data, length, memory=memory):
+            yield env.timeout(length / 12.0)
+            if data is not None:
+                memory.write(vaddr, data)
+
+        stack.bind_memory(read_local, write_local)
+        stacks.append(stack)
+    return stacks
+
+
+def main() -> None:
+    env = Environment()
+    stacks = make_cluster(env, NODES)
+    group = CollectiveGroup(env, stacks)
+    rng = np.random.default_rng(0)
+    weights = rng.integers(0, 1000, size=ELEMENTS, dtype=np.uint32)
+    gradients = [
+        rng.integers(0, 100, size=ELEMENTS, dtype=np.uint32) for _ in range(NODES)
+    ]
+    expected_sum = sum(gradients).astype("<u4")
+    results = {}
+
+    def member(rank):
+        # Phase 1: rank 0 broadcasts the weights to everyone.
+        got = yield from group.broadcast(
+            root=0, payload=weights.tobytes() if rank == 0 else None, rank=rank
+        )
+        assert np.array_equal(np.frombuffer(got, dtype="<u4"), weights)
+        if rank == 0:
+            results["bcast_done"] = env.now
+        # Phase 2: everyone allreduces their local gradients.
+        reduced = yield from group.allreduce(gradients[rank].tobytes(), rank)
+        results[rank] = np.frombuffer(reduced, dtype="<u4")
+
+    start = env.now
+    procs = [env.process(member(r)) for r in range(NODES)]
+    env.run(AllOf(env, procs))
+    for rank in range(NODES):
+        assert np.array_equal(results[rank], expected_sum), rank
+
+    nbytes = ELEMENTS * 4
+    bcast_us = results["bcast_done"] / 1e3
+    total_us = env.now / 1e3
+    print(f"{NODES} FPGAs, {nbytes // 1024} KB vectors over 100G RoCE v2")
+    print(f"  broadcast (binomial tree): weights on all ranks by {bcast_us:,.1f} us")
+    print(f"  allreduce (ring):          identical sums on all ranks by "
+          f"{total_us:,.1f} us")
+    moved = sum(s.stats['tx_packets'] for s in stacks)
+    print(f"  cluster-wide packets: {moved} "
+          f"(ring moves ~2(n-1)/n of the buffer per node, not n-1 copies)")
+    print("  every rank verified bit-identical results: OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Hardware multi-threading: AES CBC with cThreads (paper §9.5, Fig 10).
+
+CBC encryption chains every 128-bit block on the previous ciphertext, so
+a single stream keeps just 1 of the AES core's 10 pipeline stages busy.
+This example launches 1..10 cThreads against the *same* vFPGA — each
+thread gets its own parallel host stream (AXI TID) — and shows throughput
+scaling almost linearly until the pipeline is full.
+
+Run:  python examples/multithreaded_aes.py
+"""
+
+from repro import (
+    CThread,
+    Driver,
+    Environment,
+    LocalSg,
+    Oper,
+    ServiceConfig,
+    SgEntry,
+    Shell,
+    ShellConfig,
+    VFpgaConfig,
+)
+from repro.apps import AesCbcApp
+from repro.core import MoverConfig
+from repro.sim import AllOf
+
+MESSAGE_KB = 32
+MESSAGES_PER_THREAD = 6
+KEY = 0x6167717A7A767668  # the key from the paper's Code 1
+
+
+def run_with_threads(nthreads: int) -> float:
+    env = Environment()
+    shell = Shell(
+        env,
+        ShellConfig(
+            num_vfpgas=1,
+            # Timing-only data movement: we measure throughput here;
+            # see tests/test_shell_integration.py for ciphertext checks.
+            services=ServiceConfig(mover=MoverConfig(carry_data=False)),
+            vfpga=VFpgaConfig(num_host_streams=10),
+        ),
+    )
+    driver = Driver(env, shell)
+    shell.load_app(0, AesCbcApp(num_streams=10))
+    moved = [0]
+
+    def client(thread_id: int):
+        # One cThread per software thread, all on vFPGA 0, each using
+        # its own parallel stream (stream_dest == AXI TID).
+        ct = CThread(driver, 0, pid=1000 + thread_id, stream_dest=thread_id)
+        yield from ct.set_csr(KEY, 0)  # encryption key (paper Code 1)
+        size = MESSAGE_KB * 1024
+        src = yield from ct.get_mem(size)
+        dst = yield from ct.get_mem(size)
+        for _ in range(MESSAGES_PER_THREAD):
+            sg = SgEntry(
+                local=LocalSg(
+                    src_addr=src.vaddr, src_len=size,
+                    dst_addr=dst.vaddr, dst_len=size,
+                    src_dest=thread_id, dst_dest=thread_id,
+                )
+            )
+            yield from ct.invoke(Oper.LOCAL_TRANSFER, sg)
+            moved[0] += size
+
+    procs = [env.process(client(t)) for t in range(nthreads)]
+    env.run(AllOf(env, procs))
+    return moved[0] / env.now * 1000.0  # MB/s
+
+
+def main() -> None:
+    print(f"AES CBC, {MESSAGE_KB} KB messages, 10-stage pipeline")
+    print(f"{'threads':>8}  {'MB/s':>8}  {'speedup':>8}  pipeline")
+    baseline = None
+    for nthreads in (1, 2, 4, 6, 8, 10):
+        mbps = run_with_threads(nthreads)
+        baseline = baseline or mbps
+        bar = "#" * round(10 * mbps / (baseline * 10))
+        print(f"{nthreads:>8}  {mbps:>8.0f}  {mbps / baseline:>7.2f}x  [{bar:<10}]")
+    print("\nEach added cThread fills another idle pipeline stage (Figure 9);")
+    print("throughput scales ~linearly to the pipeline depth of 10.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The sandbox has setuptools but not ``wheel``, so PEP 517 editable installs
+fail; ``pip install -e . --no-use-pep517 --no-build-isolation`` (or plain
+``pip install -e .`` on environments with wheel) uses this file.
+"""
+
+from setuptools import setup
+
+setup()

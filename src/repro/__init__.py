@@ -1,0 +1,69 @@
+"""Coyote v2 reproduction: a simulated data-center FPGA shell.
+
+A discrete-event, functionally-faithful reproduction of *Coyote v2:
+Raising the Level of Abstraction for Data Center FPGAs* (SOSP 2025):
+three-layer shell architecture, shared virtual memory, RoCE v2 RDMA,
+run-time partial reconfiguration, multi-tenant fair sharing and hardware
+multi-threading -- all running on a pure-Python simulation substrate.
+
+Quick start::
+
+    from repro import Environment, Shell, ShellConfig, Driver, CThread
+
+    env = Environment()
+    shell = Shell(env, ShellConfig())
+    driver = Driver(env, shell)
+    # ... load an app, create a CThread, invoke kernels; see examples/.
+"""
+
+from .api import AppScheduler, CRcnfg, CThread
+from .cluster import FpgaCluster, FpgaNode
+from .core import (
+    Bitstream,
+    BitstreamKind,
+    Descriptor,
+    LocalSg,
+    Oper,
+    RdmaSg,
+    ServiceConfig,
+    SgEntry,
+    Shell,
+    ShellConfig,
+    StreamType,
+    UserApp,
+    VFpga,
+    VFpgaConfig,
+)
+from .driver import Driver
+from .mem import AllocType, MemLocation, TlbConfig
+from .sim import Environment
+
+__version__ = "2.0.0"
+
+__all__ = [
+    "Environment",
+    "Shell",
+    "ShellConfig",
+    "ServiceConfig",
+    "VFpga",
+    "VFpgaConfig",
+    "UserApp",
+    "Driver",
+    "CThread",
+    "CRcnfg",
+    "AppScheduler",
+    "FpgaCluster",
+    "FpgaNode",
+    "Oper",
+    "SgEntry",
+    "LocalSg",
+    "RdmaSg",
+    "Descriptor",
+    "StreamType",
+    "AllocType",
+    "MemLocation",
+    "TlbConfig",
+    "Bitstream",
+    "BitstreamKind",
+    "__version__",
+]

@@ -1,0 +1,7 @@
+"""Software API: cThreads, reconfiguration handles, app scheduling."""
+
+from .crcnfg import CRcnfg
+from .cthread import CThread
+from .scheduler import AppScheduler, KernelRegistration, SchedulerError
+
+__all__ = ["CThread", "CRcnfg", "AppScheduler", "KernelRegistration", "SchedulerError"]

@@ -1,0 +1,51 @@
+"""cRcnfg: the reconfiguration API (paper §7.3, Code 2).
+
+.. code-block:: c++
+
+    cRcnfg rcnfg(0);
+    rcnfg.reconfigureShell("/path/to/shell.bin");
+    rcnfg.reconfigureApp("/path/to/app.bin", 2);
+
+Here bitstreams are :class:`~repro.core.bitstream.Bitstream` objects
+produced by the synthesis flow instead of paths, and the target
+application logic is passed alongside (the registry that maps bitstream
+contents to simulation kernels lives in :mod:`repro.apps.registry`).
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional
+
+from ..core.bitstream import Bitstream
+from ..core.dynamic_layer import ServiceConfig
+from ..core.vfpga import UserApp
+from ..driver.driver import Driver
+
+__all__ = ["CRcnfg"]
+
+
+class CRcnfg:
+    """Reconfiguration handle for one card."""
+
+    def __init__(self, driver: Driver):
+        self.driver = driver
+        self.env = driver.env
+
+    def reconfigure_shell(
+        self,
+        bitstream: Bitstream,
+        services: ServiceConfig,
+        apps: Optional[List[Optional[UserApp]]] = None,
+    ) -> Generator:
+        """Swap services + applications at run time, device stays online."""
+        yield self.env.process(
+            self.driver.reconfigure_shell(bitstream, services, apps)
+        )
+
+    def reconfigure_app(
+        self, bitstream: Bitstream, vfpga_id: int, app: UserApp
+    ) -> Generator:
+        """Swap a single vFPGA's user logic."""
+        yield self.env.process(
+            self.driver.reconfigure_app(bitstream, vfpga_id, app)
+        )

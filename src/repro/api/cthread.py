@@ -1,0 +1,216 @@
+"""cThreads: the user-facing software API (paper §7.3, Code 1).
+
+A :class:`CThread` corresponds to one software thread bound to a vFPGA.
+Multiple cThreads can share the same vFPGA pipeline (hardware
+multi-threading): each is assigned a distinct parallel stream index, and
+the hardware differentiates requests by the AXI TID.
+
+Host-side calls that touch the card (CSR access, invoke) are generators
+running in simulated time; pure CPU-side calls (buffer fill) are plain
+methods.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Generator, Optional
+
+from ..core.interfaces import Descriptor, LocalSg, Oper, RdmaSg, SgEntry, StreamType
+from ..driver.driver import Driver, ProcessContext
+from ..mem.allocator import Allocation, AllocType
+from ..sim.engine import Environment
+
+__all__ = ["CThread"]
+
+#: PCIe MMIO latencies for user-space BAR access (kernel bypassed).
+CSR_WRITE_NS = 120.0
+CSR_READ_NS = 900.0
+#: Completion-polling interval when writeback is disabled.
+POLL_INTERVAL_NS = 1_000.0
+
+_wr_ids = itertools.count(1)
+
+
+class CThread:
+    """One software thread executing against one vFPGA."""
+
+    def __init__(
+        self,
+        driver: Driver,
+        vfpga_id: int,
+        pid: int,
+        stream_dest: int = 0,
+    ):
+        self.driver = driver
+        self.env: Environment = driver.env
+        self.vfpga_id = vfpga_id
+        self.pid = pid
+        #: Which parallel stream this thread's data uses (the TID).
+        self.stream_dest = stream_dest
+        self.ctx: ProcessContext = driver.open(pid, vfpga_id)
+        self._vfpga = driver.shell.vfpgas[vfpga_id]
+
+    # ---------------------------------------------------------------- memory
+
+    def get_mem(self, length: int, alloc_type: AllocType = AllocType.HPF) -> Generator:
+        """Allocate a mapped buffer; adds its pages to the TLB (Code 1)."""
+        alloc = yield self.env.process(self.driver.get_mem(self.pid, length, alloc_type))
+        return alloc
+
+    def free_mem(self, alloc: Allocation) -> None:
+        self.driver.free_mem(self.pid, alloc)
+
+    def gpu_alloc(self, length: int) -> Generator:
+        """Allocate a GPU-resident SVM buffer: vFPGA accesses go P2P."""
+        alloc = yield self.env.process(self.driver.gpu_alloc(self.pid, length))
+        return alloc
+
+    def gpu_write_buffer(self, vaddr: int, data: bytes) -> None:
+        """cudaMemcpy-style host upload into GPU memory (untimed)."""
+        self.driver.gpu_write_buffer(self.pid, vaddr, data)
+
+    def gpu_read_buffer(self, vaddr: int, length: int) -> bytes:
+        return self.driver.gpu_read_buffer(self.pid, vaddr, length)
+
+    def write_buffer(self, vaddr: int, data: bytes) -> None:
+        """CPU store into a mapped buffer (host-side, untimed)."""
+        self.driver.write_buffer(self.pid, vaddr, data)
+
+    def read_buffer(self, vaddr: int, length: int) -> bytes:
+        return self.driver.read_buffer(self.pid, vaddr, length)
+
+    # ------------------------------------------------------------------- CSR
+
+    def set_csr(self, value: int, index: int) -> Generator:
+        """Write a control register (user-space BAR mapping)."""
+        yield self.env.timeout(CSR_WRITE_NS)
+        self._vfpga.csr_write(index, value)
+
+    def get_csr(self, index: int) -> Generator:
+        yield self.env.timeout(CSR_READ_NS)
+        return self._vfpga.csr_read(index)
+
+    # ------------------------------------------------------------ interrupts
+
+    def wait_interrupt(self) -> Generator:
+        """Block on the eventfd until the vFPGA raises a user interrupt."""
+        event = yield self.ctx.interrupts.get()
+        return event  # (timestamp_ns, value)
+
+    # ---------------------------------------------------------------- invoke
+
+    def invoke(self, oper: Oper, sg: SgEntry, last: bool = True) -> Generator:
+        """Launch a hardware operation and wait for its completion."""
+        if oper is Oper.LOCAL_TRANSFER:
+            yield from self._local_transfer(sg.local)
+        elif oper is Oper.LOCAL_READ:
+            yield from self._local_read(sg.local)
+        elif oper is Oper.LOCAL_WRITE:
+            yield from self._local_write(sg.local)
+        elif oper is Oper.LOCAL_OFFLOAD:
+            yield self.env.process(
+                self.driver.offload(self.pid, sg.local.src_addr, sg.local.src_len)
+            )
+        elif oper is Oper.LOCAL_SYNC:
+            yield self.env.process(
+                self.driver.sync(self.pid, sg.local.src_addr, sg.local.src_len)
+            )
+        elif oper is Oper.REMOTE_RDMA_WRITE:
+            yield from self._rdma(sg.rdma, write=True)
+        elif oper is Oper.REMOTE_RDMA_READ:
+            yield from self._rdma(sg.rdma, write=False)
+        elif oper is Oper.NOOP:
+            yield self.env.timeout(0)
+        else:
+            raise ValueError(f"unsupported operation {oper}")
+
+    def invoke_async(self, oper: Oper, sg: SgEntry):
+        """Fire-and-forget variant; returns the spawned process."""
+        return self.env.process(self.invoke(oper, sg))
+
+    # -------------------------------------------------------------- internals
+
+    def _descriptor(self, vaddr: int, length: int, stream: StreamType, dest: int, wr_id: int) -> Descriptor:
+        return Descriptor(
+            vfpga_id=self.vfpga_id,
+            pid=self.pid,
+            vaddr=vaddr,
+            length=length,
+            stream=stream,
+            dest=dest,
+            wr_id=wr_id,
+        )
+
+    def _writeback_enabled(self) -> bool:
+        return self.driver.shell.config.services.mover.writeback
+
+    def _await_completion(self, event) -> Generator:
+        """Writeback mode: sleep until the driver resolves the completion
+        event.  Polling mode: spin on MMIO until it resolved."""
+        if self._writeback_enabled():
+            entry = yield event
+            return entry
+        while not event.triggered:
+            yield self.env.timeout(POLL_INTERVAL_NS + CSR_READ_NS)
+        return event.value
+
+    def _local_transfer(self, sg: LocalSg) -> Generator:
+        """Read src into the kernel, collect kernel output into dst."""
+        wr_id = next(_wr_ids)
+        done = self.ctx.expect(self.env, write=True, wr_id=wr_id)
+        self.driver.post_descriptor(
+            self._descriptor(sg.src_addr, sg.src_len, sg.src_stream,
+                             sg.src_dest or self.stream_dest, wr_id),
+            write=False,
+        )
+        self.driver.post_descriptor(
+            self._descriptor(sg.dst_addr, sg.dst_len, sg.dst_stream,
+                             sg.dst_dest or self.stream_dest, wr_id),
+            write=True,
+        )
+        yield from self._await_completion(done)
+
+    def _local_read(self, sg: LocalSg) -> Generator:
+        wr_id = next(_wr_ids)
+        done = self.ctx.expect(self.env, write=False, wr_id=wr_id)
+        self.driver.post_descriptor(
+            self._descriptor(sg.src_addr, sg.src_len, sg.src_stream,
+                             sg.src_dest or self.stream_dest, wr_id),
+            write=False,
+        )
+        yield from self._await_completion(done)
+
+    def _local_write(self, sg: LocalSg) -> Generator:
+        wr_id = next(_wr_ids)
+        done = self.ctx.expect(self.env, write=True, wr_id=wr_id)
+        self.driver.post_descriptor(
+            self._descriptor(sg.dst_addr, sg.dst_len, sg.dst_stream,
+                             sg.dst_dest or self.stream_dest, wr_id),
+            write=True,
+        )
+        yield from self._await_completion(done)
+
+    def _rdma(self, sg: RdmaSg, write: bool) -> Generator:
+        stack = self.driver.shell.dynamic.rdma
+        if stack is None:
+            raise ValueError("shell has no RDMA service")
+        verb = stack.rdma_write if write else stack.rdma_read
+        yield self.env.process(
+            verb(sg.qpn, sg.local_addr, sg.remote_addr, sg.len, wr_id=next(_wr_ids))
+        )
+
+    # ----------------------------------------------------------------- RDMA
+
+    def create_qp(self, qpn: int, psn: int = 0) -> "object":
+        """Create a QP owned by this thread; binds it to this MMU context."""
+        stack = self.driver.shell.dynamic.rdma
+        if stack is None:
+            raise ValueError("shell has no RDMA service")
+        qp = stack.create_qp(qpn, psn=psn)
+        self.driver.bind_qp(self.pid, qpn)
+        return qp
+
+    # ---------------------------------------------------------------- teardown
+
+    def close(self) -> None:
+        self.driver.close(self.pid)

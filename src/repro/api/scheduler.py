@@ -1,0 +1,139 @@
+"""On-demand application scheduling over partial reconfiguration.
+
+Paper §4/§9.6: prior shells and Coyote v2 "trigger reconfiguration of
+specific applications as user requests arrive, based on some scheduling
+policy", and §9.6 runs HLL "as a background daemon loaded on demand".
+This module provides that run-time as a reusable component: clients
+submit requests naming a registered kernel; the scheduler batches
+same-kernel requests (affinity) to avoid reconfiguration thrashing,
+swaps vFPGA logic through the driver's PR ioctl when needed, and runs
+each request against the loaded kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Generator, List, Optional
+
+from ..core.bitstream import Bitstream
+from ..core.vfpga import UserApp
+from ..driver.driver import Driver
+from ..sim.engine import Environment, Event
+from ..sim.resources import Store
+
+__all__ = ["AppScheduler", "SchedulerError", "KernelRegistration"]
+
+
+class SchedulerError(Exception):
+    """Scheduling misuse: unknown kernels, duplicate registrations."""
+
+
+@dataclass(frozen=True)
+class KernelRegistration:
+    """A deployable kernel: its bitstream and a factory for the logic."""
+
+    name: str
+    bitstream: Bitstream
+    factory: Callable[[], UserApp]
+
+
+@dataclass
+class _Request:
+    kernel: str
+    body: Callable  # generator fn(cthread-ish context) -> result
+    done: Event
+    submitted_at: float
+
+
+class AppScheduler:
+    """FCFS-with-affinity scheduler for one vFPGA region.
+
+    Policy: requests are served in arrival order, except that requests
+    for the *currently loaded* kernel may be served ahead of a pending
+    reconfiguration ("affinity window"), amortising PR latency exactly
+    like batching amortises context switches in an OS scheduler.
+    """
+
+    def __init__(
+        self,
+        driver: Driver,
+        vfpga_id: int = 0,
+        affinity_window: int = 8,
+        cached_bitstreams: bool = True,
+    ):
+        self.driver = driver
+        self.env: Environment = driver.env
+        self.vfpga_id = vfpga_id
+        self.affinity_window = affinity_window
+        self.cached_bitstreams = cached_bitstreams
+        self._kernels: Dict[str, KernelRegistration] = {}
+        self._queue: List[_Request] = []
+        self._wakeup: Store = Store(self.env)
+        self.loaded: Optional[str] = None
+        self.loaded_app: Optional[UserApp] = None
+        self.reconfigurations = 0
+        self.requests_served = 0
+        self.env.process(self._scheduler_loop(), name=f"sched-v{vfpga_id}")
+
+    # --------------------------------------------------------------- admin
+
+    def register(self, name: str, bitstream: Bitstream, factory: Callable[[], UserApp]) -> None:
+        if name in self._kernels:
+            raise SchedulerError(f"kernel {name!r} already registered")
+        self._kernels[name] = KernelRegistration(name, bitstream, factory)
+
+    # --------------------------------------------------------------- client
+
+    def submit(self, kernel: str, body: Callable) -> Generator:
+        """Queue a request; returns the body's result when it ran.
+
+        ``body(app)`` must be a generator function receiving the loaded
+        :class:`UserApp`; it runs once the kernel is resident.
+        """
+        if kernel not in self._kernels:
+            raise SchedulerError(f"unknown kernel {kernel!r}")
+        request = _Request(
+            kernel=kernel, body=body, done=Event(self.env), submitted_at=self.env.now
+        )
+        self._queue.append(request)
+        yield self._wakeup.put(object())
+        result = yield request.done
+        return result
+
+    # ------------------------------------------------------------ scheduling
+
+    def _pick(self) -> _Request:
+        """FCFS with bounded affinity for the resident kernel."""
+        if self.loaded is not None:
+            for request in self._queue[: self.affinity_window]:
+                if request.kernel == self.loaded:
+                    self._queue.remove(request)
+                    return request
+        return self._queue.pop(0)
+
+    def _scheduler_loop(self) -> Generator:
+        while True:
+            yield self._wakeup.get()
+            if not self._queue:
+                continue
+            request = self._pick()
+            if request.kernel != self.loaded:
+                registration = self._kernels[request.kernel]
+                yield self.env.process(
+                    self.driver.reconfigure_app(
+                        registration.bitstream,
+                        self.vfpga_id,
+                        registration.factory(),
+                        cached=self.cached_bitstreams,
+                    )
+                )
+                self.loaded = request.kernel
+                self.loaded_app = self.driver.shell.vfpgas[self.vfpga_id].app
+                self.reconfigurations += 1
+            try:
+                result = yield self.env.process(request.body(self.loaded_app))
+            except Exception as exc:  # surface failures to the submitter
+                request.done.fail(exc)
+            else:
+                self.requests_served += 1
+                request.done.succeed(result)

@@ -1,0 +1,35 @@
+"""User applications: the workloads the paper deploys on the shell."""
+
+from .aes import (
+    AesCbcApp,
+    AesEcbApp,
+    PIPELINE_STAGES,
+    aes_cbc_decrypt,
+    aes_cbc_encrypt,
+    aes_decrypt_block,
+    aes_ecb_encrypt,
+    aes_encrypt_block,
+    aes_expand_key,
+)
+from .hll import HllApp, HyperLogLog, murmur64
+from .passthrough import PassThroughApp
+from .vadd import VectorOpApp, vector_add, vector_mul
+
+__all__ = [
+    "PassThroughApp",
+    "AesEcbApp",
+    "AesCbcApp",
+    "PIPELINE_STAGES",
+    "aes_expand_key",
+    "aes_encrypt_block",
+    "aes_decrypt_block",
+    "aes_ecb_encrypt",
+    "aes_cbc_encrypt",
+    "aes_cbc_decrypt",
+    "HllApp",
+    "HyperLogLog",
+    "murmur64",
+    "VectorOpApp",
+    "vector_add",
+    "vector_mul",
+]

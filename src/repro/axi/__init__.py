@@ -1,0 +1,7 @@
+"""AXI channel models: AXI4-Stream data paths and AXI4-Lite control."""
+
+from .lite import AxiLite, RegisterFile
+from .stream import AxiStream
+from .types import STREAM_WIDTH_BYTES, Flit
+
+__all__ = ["AxiStream", "AxiLite", "RegisterFile", "Flit", "STREAM_WIDTH_BYTES"]

@@ -1,0 +1,91 @@
+"""AXI4-Lite register bus model.
+
+Used for the vFPGA control bus and shell-control BAR: single-word
+memory-mapped reads and writes with a fixed round-trip latency.  On the real
+system this path is a PCIe BAR access from user space (paper §7.1), so the
+default latency models a PCIe MMIO round trip rather than an on-chip one.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generator, Optional
+
+from ..sim.engine import Environment
+
+__all__ = ["AxiLite", "RegisterFile"]
+
+#: PCIe MMIO round-trip latency (~1 µs read, writes posted and cheaper).
+MMIO_READ_LATENCY_NS = 900.0
+MMIO_WRITE_LATENCY_NS = 120.0
+
+
+class RegisterFile:
+    """A bank of 64-bit control/status registers with optional hooks.
+
+    Hardware components register read/write hooks to give registers live
+    behaviour (e.g. a ``start`` bit kicking a kernel).
+    """
+
+    def __init__(self, name: str = "regs", size: int = 64):
+        self.name = name
+        self.size = size
+        self._values: Dict[int, int] = {}
+        self._write_hooks: Dict[int, Callable[[int], None]] = {}
+        self._read_hooks: Dict[int, Callable[[], int]] = {}
+
+    def _check(self, index: int) -> None:
+        if not 0 <= index < self.size:
+            raise IndexError(f"register {index} outside file of size {self.size}")
+
+    def write(self, index: int, value: int) -> None:
+        self._check(index)
+        self._values[index] = value & 0xFFFFFFFFFFFFFFFF
+        hook = self._write_hooks.get(index)
+        if hook is not None:
+            hook(self._values[index])
+
+    def read(self, index: int) -> int:
+        self._check(index)
+        hook = self._read_hooks.get(index)
+        if hook is not None:
+            return hook() & 0xFFFFFFFFFFFFFFFF
+        return self._values.get(index, 0)
+
+    def on_write(self, index: int, hook: Callable[[int], None]) -> None:
+        self._check(index)
+        self._write_hooks[index] = hook
+
+    def on_read(self, index: int, hook: Callable[[], int]) -> None:
+        self._check(index)
+        self._read_hooks[index] = hook
+
+
+class AxiLite:
+    """Timed access port to a :class:`RegisterFile`."""
+
+    def __init__(
+        self,
+        env: Environment,
+        regs: Optional[RegisterFile] = None,
+        read_latency_ns: float = MMIO_READ_LATENCY_NS,
+        write_latency_ns: float = MMIO_WRITE_LATENCY_NS,
+    ):
+        self.env = env
+        self.regs = regs if regs is not None else RegisterFile()
+        self.read_latency_ns = read_latency_ns
+        self.write_latency_ns = write_latency_ns
+
+    def write(self, index: int, value: int) -> Generator:
+        yield self.env.timeout(self.write_latency_ns)
+        self.regs.write(index, value)
+
+    def read(self, index: int) -> Generator:
+        yield self.env.timeout(self.read_latency_ns)
+        return self.regs.read(index)
+
+    # Untimed variants for host software that sits outside simulated time.
+    def write_now(self, index: int, value: int) -> None:
+        self.regs.write(index, value)
+
+    def read_now(self, index: int) -> int:
+        return self.regs.read(index)

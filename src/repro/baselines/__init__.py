@@ -1,0 +1,29 @@
+"""Baselines the paper compares against: Coyote v1, PYNQ/Vitis, AmorphOS."""
+
+from .amorphos import CopyThroughCardPath, DirectHostStreamPath
+from .coyote_v1 import CoyoteV1Shell
+from .features import (
+    FEATURE_COLUMNS,
+    FEATURE_MATRIX,
+    ShellFeatures,
+    Support,
+    coyote_v2_row,
+    render_table,
+)
+from .pynq import PYNQ_CALL_OVERHEAD_NS, PynqVitisOverlay
+from .vitis_shell import VITIS_SHELL_RESOURCES
+
+__all__ = [
+    "CoyoteV1Shell",
+    "PynqVitisOverlay",
+    "PYNQ_CALL_OVERHEAD_NS",
+    "VITIS_SHELL_RESOURCES",
+    "CopyThroughCardPath",
+    "DirectHostStreamPath",
+    "FEATURE_MATRIX",
+    "FEATURE_COLUMNS",
+    "ShellFeatures",
+    "Support",
+    "coyote_v2_row",
+    "render_table",
+]

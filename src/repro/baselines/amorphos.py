@@ -1,0 +1,51 @@
+"""AmorphOS-style interface baseline (paper §2.2, Figure 2).
+
+AmorphOS "requires the input data to be first copied from host memory to
+FPGA HBM, before it can be processed by the application", incurring "a
+non-negligible latency penalty" against Coyote's direct host streaming.
+This model quantifies that penalty for the motivation experiments: the
+same request serviced through (a) a staging copy into card memory and a
+card-side read, vs (b) Coyote v2's direct host stream.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ..mem.hbm import HbmController
+from ..pcie.xdma import Xdma
+from ..sim.engine import Environment
+
+__all__ = ["CopyThroughCardPath", "DirectHostStreamPath"]
+
+
+class CopyThroughCardPath:
+    """host -> HBM staging copy, then the kernel reads from HBM."""
+
+    def __init__(self, env: Environment, xdma: Xdma, hbm: HbmController):
+        self.env = env
+        self.xdma = xdma
+        self.hbm = hbm
+
+    def deliver(self, nbytes: int) -> Generator:
+        """Time for the kernel to see ``nbytes`` of host data."""
+        start = self.env.now
+        yield from self.xdma.link.h2c(nbytes)  # PCIe into the card
+        yield self.env.process(self.hbm.write(0, bytes(min(nbytes, 1))))
+        # The staging write occupies HBM for the full payload.
+        yield self.env.timeout(nbytes / (self.hbm.config.channel_bandwidth * 4))
+        yield self.env.process(self.hbm.read(0, nbytes))  # kernel fetch
+        return self.env.now - start
+
+
+class DirectHostStreamPath:
+    """Coyote v2's path: the kernel consumes the PCIe stream directly."""
+
+    def __init__(self, env: Environment, xdma: Xdma):
+        self.env = env
+        self.xdma = xdma
+
+    def deliver(self, nbytes: int) -> Generator:
+        start = self.env.now
+        yield from self.xdma.link.h2c(nbytes)
+        return self.env.now - start

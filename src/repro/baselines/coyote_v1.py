@@ -1,0 +1,79 @@
+"""Coyote v1 baseline (paper §9.6, Figure 11; Korolija et al., OSDI '20).
+
+Coyote v1 is the starting point of Coyote v2: it already has shared
+virtual memory, networking and app reconfiguration, but
+
+* services live in the *static* layer — changing the MMU page size or the
+  networking stack requires re-flashing the whole device;
+* each vFPGA has a **single** data stream per peripheral — no hardware
+  multi-threading, operands must be packed/unpacked in software;
+* no user interrupts.
+
+For Figure 11 we need v1 as a performance/utilisation baseline running
+the same HLL kernel.  We model it as a Coyote v2 shell constrained to one
+host stream (which is accurate: the v2 datapath with one stream is the v1
+datapath) plus v1's own resource footprint and its full-reflash
+reconfiguration behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional
+
+from ..core.bitstream import Bitstream, BitstreamKind
+from ..core.dynamic_layer import ServiceConfig
+from ..core.reconfig import VivadoHwManager
+from ..core.shell import Shell, ShellConfig
+from ..core.vfpga import UserApp, VFpgaConfig
+from ..sim.engine import Environment
+from ..synth.flow import BuildFlow
+from ..synth.netlist import get_module
+from ..synth.resources import ResourceVector
+
+__all__ = ["CoyoteV1Shell"]
+
+
+class CoyoteV1Shell(Shell):
+    """Coyote v1: single-stream interface, static services."""
+
+    def __init__(
+        self,
+        env: Environment,
+        num_vfpgas: int = 1,
+        services: Optional[ServiceConfig] = None,
+        device: str = "u55c",
+    ):
+        services = services if services is not None else ServiceConfig(en_memory=False)
+        config = ShellConfig(
+            device=device,
+            num_vfpgas=num_vfpgas,
+            vfpga=VFpgaConfig(num_host_streams=1, num_card_streams=1, num_net_streams=1),
+            services=services,
+        )
+        super().__init__(env, config)
+        self._vivado = VivadoHwManager(env)
+
+    def reconfigure_shell(self, bitstream, services, apps=None) -> Generator:
+        """v1 cannot swap services at run time: full device re-flash
+        through Vivado Hardware Manager (device offline throughout)."""
+        flow = BuildFlow(self.config.device, num_vfpgas=self.config.num_vfpgas)
+        full = Bitstream(
+            kind=BitstreamKind.FULL,
+            target_region="device",
+            size_bytes=flow.full_bitstream_bytes(get_module("coyote_v1_base").luts),
+            services=services.service_names,
+            device=self.config.device,
+        )
+        yield self.env.process(self._vivado.program(full))
+        self._apply_shell_swap(services, apps)
+
+    def shell_resources(self, app_names: List[str] = ()) -> ResourceVector:
+        """v1 base shell + apps (for the Figure 11 utilisation bars)."""
+        total = get_module("coyote_v1_base").resources
+        if self.config.services.en_memory:
+            total = total + get_module("hbm_ctrl").resources
+        if self.config.services.en_rdma:
+            total = total + get_module("rdma_stack").resources
+        for name in app_names:
+            total = total + get_module(name).resources
+        return total

@@ -1,0 +1,104 @@
+"""Table 1: the feature matrix of prior FPGA shells.
+
+Encodes the paper's comparison table as structured data so the Table 1
+benchmark can regenerate it, and so tests can assert the claims the paper
+makes about Coyote v2 (full support in every column, the only shell with
+multi-threading, etc.).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List, Tuple
+
+__all__ = ["Support", "ShellFeatures", "FEATURE_MATRIX", "FEATURE_COLUMNS", "render_table"]
+
+
+class Support(Enum):
+    YES = "yes"
+    PARTIAL = "partial"
+    NO = "no"
+    NA = "n/a"
+
+    @property
+    def symbol(self) -> str:
+        return {"yes": "Y", "partial": "~", "no": "-", "n/a": "n/a"}[self.value]
+
+
+FEATURE_COLUMNS: Tuple[str, ...] = (
+    "services",
+    "service_reconfig",
+    "shared_virtual_memory",
+    "multiple_reconfigurable_apps",
+    "multi_threading",
+    "interrupts",
+    "open_source",
+)
+
+
+@dataclass(frozen=True)
+class ShellFeatures:
+    """One row of Table 1."""
+
+    name: str
+    year: int
+    commercial: bool
+    services: Support
+    service_reconfig: Support
+    shared_virtual_memory: Support
+    multiple_reconfigurable_apps: Support
+    multi_threading: Support
+    app_interface: str
+    interrupts: Support
+    open_source: Support
+
+    def supports(self, column: str) -> Support:
+        return getattr(self, column)
+
+
+Y, P, N, NA = Support.YES, Support.PARTIAL, Support.NO, Support.NA
+
+#: The paper's Table 1, row by row (first commercial, then research,
+#: chronological within each group).
+FEATURE_MATRIX: List[ShellFeatures] = [
+    ShellFeatures("Microsoft Catapult", 2014, True, P, N, N, N, P, "Card (single)", N, N),
+    ShellFeatures("Xilinx SDAccel", 2014, True, N, NA, N, N, N, "Card (single)", P, N),
+    ShellFeatures("Intel OneAPI", 2020, True, N, NA, P, N, N, "Host, card (single)", N, N),
+    ShellFeatures("Vitis XRT Shell", 2017, True, N, NA, N, N, N, "Host, card (single)", P, N),
+    ShellFeatures("Open FPGA Stack", 2023, True, N, NA, N, N, N, "Host, card (single)", N, Y),
+    ShellFeatures("Amazon AWS F2", 2024, True, N, NA, N, N, N, "Host, card (single)", N, N),
+    ShellFeatures("Feniks", 2017, False, P, N, N, N, N, "Host, card, net (single)", N, N),
+    ShellFeatures("AmorphOS", 2018, False, N, NA, N, Y, N, "Card (single)", N, Y),
+    ShellFeatures("OPTIMUS", 2008, False, N, NA, P, N, P, "Host (single)", N, N),
+    ShellFeatures("FOS", 2020, False, P, N, N, Y, N, "Card (multiple)", N, Y),
+    ShellFeatures("Coyote", 2020, False, P, N, Y, Y, N, "Host, card, net (single)", N, Y),
+    ShellFeatures("TaPaSCo", 2021, False, N, NA, N, N, N, "Host, card (single)", Y, Y),
+    ShellFeatures("Miliadis et al.", 2024, False, P, N, N, Y, N, "Card (multiple)", N, N),
+    ShellFeatures("Harmonia", 2025, False, P, N, N, Y, N, "Host, card, net (single)", N, N),
+    ShellFeatures("Coyote v2", 2025, False, Y, Y, Y, Y, Y, "Host, card, net (multiple)", Y, Y),
+]
+
+
+def coyote_v2_row() -> ShellFeatures:
+    return FEATURE_MATRIX[-1]
+
+
+def render_table() -> str:
+    """Regenerate Table 1 as aligned text."""
+    headers = ["Shell"] + [c.replace("_", " ") for c in FEATURE_COLUMNS[:5]] + [
+        "app interface", "interrupts", "open source"
+    ]
+    rows = []
+    for shell in FEATURE_MATRIX:
+        rows.append(
+            [shell.name]
+            + [shell.supports(c).symbol for c in FEATURE_COLUMNS[:5]]
+            + [shell.app_interface, shell.interrupts.symbol, shell.open_source.symbol]
+        )
+    widths = [max(len(str(r[i])) for r in [headers] + rows) for i in range(len(headers))]
+    lines = [
+        "  ".join(str(cell).ljust(width) for cell, width in zip(row, widths))
+        for row in [headers] + rows
+    ]
+    return "\n".join(lines)

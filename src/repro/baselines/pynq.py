@@ -1,0 +1,90 @@
+"""The PYNQ + Vitis baseline for Figure 12.
+
+Paper §9.7: "the baseline is not fully optimized, since it requires the
+data to be copied from host memory to FPGA HBM, before being consumed by
+the neural network, rather than being streamed directly into the model
+from the host.  Part of the slow-down comes from the fact that the
+CoyoteBackend integrates directly with Coyote v2's high-performance C++
+library, whereas PYNQ provides a number of additional features and
+control steps for FPGAs, implemented in Python."
+
+This model charges exactly those two costs: a staging copy through FPGA
+HBM in each direction, and the PYNQ Python runtime overhead per call
+(buffer management, driver round-trips, ``allocate``/``sync`` semantics).
+The IP itself is identical — same fixed-point arithmetic, same
+initiation interval — so the gap isolates the deployment path.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+import numpy as np
+
+from ..mem.hbm import HbmConfig, HbmController
+from ..pcie.link import PcieLink, PcieLinkConfig
+from ..sim.clock import FABRIC_CLOCK
+from ..sim.engine import Environment
+from ..synth.resources import ResourceVector
+from .vitis_shell import VITIS_SHELL_RESOURCES
+
+__all__ = ["PynqVitisOverlay", "PYNQ_CALL_OVERHEAD_NS"]
+
+#: Python-side runtime cost per predict call: pynq.Buffer bookkeeping,
+#: register pokes over /dev/mem, completion polling from Python.
+PYNQ_CALL_OVERHEAD_NS = 950_000.0
+#: Per-buffer sync (cache flush/invalidate + descriptor programming).
+PYNQ_SYNC_OVERHEAD_NS = 160_000.0
+
+
+class PynqVitisOverlay:
+    """The baseline deployment path: host -> HBM -> kernel -> HBM -> host."""
+
+    def __init__(self, env: Environment, ip, hbm: HbmController = None):
+        self.env = env
+        self.ip = ip
+        self.link = PcieLink(env, PcieLinkConfig())
+        self.hbm = hbm if hbm is not None else HbmController(
+            env, HbmConfig(num_channels=4, channel_bytes=1 << 28)
+        )
+        self.calls = 0
+
+    def predict(self, x: np.ndarray, batch_size: int = 1024) -> Generator:
+        """Timed inference through the copy-staged PYNQ path."""
+        ip = self.ip
+        x = np.asarray(x, dtype=np.float64)
+        total = x.shape[0]
+        out = np.zeros((total, ip.output_width))
+        ii_ns = FABRIC_CLOCK.cycles_to_ns(ip.initiation_interval_cycles)
+        for start in range(0, total, batch_size):
+            batch = x[start : start + batch_size]
+            n = len(batch)
+            in_bytes = n * ip.sample_in_bytes
+            out_bytes = n * ip.sample_out_bytes
+            self.calls += 1
+            # Python runtime: allocate/deref pynq buffers, poke registers.
+            yield self.env.timeout(PYNQ_CALL_OVERHEAD_NS)
+            # Stage input: host -> HBM over PCIe, then sync.
+            yield self.env.process(self._copy_to_hbm(0, in_bytes))
+            yield self.env.timeout(PYNQ_SYNC_OVERHEAD_NS)
+            # Kernel: reads HBM, computes, writes HBM.
+            yield self.env.process(self.hbm.read(0, in_bytes))
+            yield self.env.timeout(n * ii_ns + FABRIC_CLOCK.cycles_to_ns(ip.latency_cycles))
+            yield self.env.process(self.hbm.write(1 << 20, bytes(out_bytes)))
+            # Unstage output: HBM -> host, then sync.
+            yield self.env.process(self._copy_from_hbm(1 << 20, out_bytes))
+            yield self.env.timeout(PYNQ_SYNC_OVERHEAD_NS)
+            out[start : start + n] = ip.forward_quantized(batch)
+        return out
+
+    def _copy_to_hbm(self, addr: int, nbytes: int) -> Generator:
+        yield from self.link.h2c(nbytes)
+        yield self.env.process(self.hbm.write(addr, bytes(min(nbytes, 4096))))
+
+    def _copy_from_hbm(self, addr: int, nbytes: int) -> Generator:
+        yield self.env.process(self.hbm.read(addr, nbytes))
+        yield from self.link.c2h(nbytes)
+
+    def total_resources(self) -> ResourceVector:
+        """Vitis shell + DMA infrastructure + the IP (Figure 12 bars)."""
+        return VITIS_SHELL_RESOURCES + self.ip.resources

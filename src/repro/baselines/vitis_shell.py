@@ -1,0 +1,14 @@
+"""Resource footprint of the Vitis/XRT shell the PYNQ baseline sits on.
+
+Comparable in LUTs to the Coyote v2 shell (paper: "keeping the overall
+resource utilization approximately equal"), but monolithic: static DMA
+infrastructure, no service reconfiguration.
+"""
+
+from ..synth.resources import ResourceVector
+
+__all__ = ["VITIS_SHELL_RESOURCES"]
+
+VITIS_SHELL_RESOURCES = ResourceVector(
+    luts=108_000, ffs=216_000, brams=190, urams=0, dsps=4
+)

@@ -1,0 +1,94 @@
+"""Multi-card deployments: a switch plus N shells with drivers.
+
+Convenience wiring for the multi-node experiments (RDMA, collectives,
+service swaps): every node gets a deterministic MAC/IP, its shell is
+attached to one shared switch, and a driver is bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from .core.dynamic_layer import ServiceConfig
+from .core.shell import Shell, ShellConfig
+from .core.vfpga import VFpgaConfig
+from .driver.driver import Driver
+from .net.headers import MacAddress
+from .net.switch import Switch
+from .sim.engine import Environment
+
+__all__ = ["FpgaNode", "FpgaCluster"]
+
+_MAC_BASE = 0x02_C0_70_7E_00_00  # locally administered
+_IP_BASE = 0x0A_00_01_00
+
+
+@dataclass
+class FpgaNode:
+    """One card in the cluster."""
+
+    index: int
+    mac: MacAddress
+    ip: int
+    shell: Shell
+    driver: Driver
+
+
+class FpgaCluster:
+    """N Coyote v2 cards on one switched network."""
+
+    def __init__(
+        self,
+        env: Environment,
+        num_nodes: int,
+        services: Optional[ServiceConfig] = None,
+        num_vfpgas: int = 1,
+        vfpga: VFpgaConfig = VFpgaConfig(),
+        device: str = "u55c",
+    ):
+        if num_nodes < 1:
+            raise ValueError("cluster needs at least one node")
+        self.env = env
+        self.switch = Switch(env)
+        if services is None:
+            services = ServiceConfig(en_memory=True, en_rdma=True)
+        self.services = services
+        self.nodes: List[FpgaNode] = []
+        for index in range(num_nodes):
+            mac = MacAddress(_MAC_BASE + index)
+            ip = _IP_BASE + index
+            shell = Shell(
+                env,
+                ShellConfig(
+                    device=device,
+                    num_vfpgas=num_vfpgas,
+                    vfpga=vfpga,
+                    services=services,
+                ),
+                switch=self.switch,
+                mac=mac,
+                ip=ip,
+            )
+            self.nodes.append(
+                FpgaNode(index=index, mac=mac, ip=ip, shell=shell, driver=Driver(env, shell))
+            )
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __getitem__(self, index: int) -> FpgaNode:
+        return self.nodes[index]
+
+    def connect_qps(self, a: int, b: int, pid_a: int, pid_b: int,
+                    qpn_a: int, qpn_b: int, vfpga: int = 0):
+        """Create and cross-connect a QP pair between two nodes' cThreads."""
+        from .api.cthread import CThread
+
+        thread_a = CThread(self.nodes[a].driver, vfpga, pid=pid_a)
+        thread_b = CThread(self.nodes[b].driver, vfpga, pid=pid_b)
+        qp_a = thread_a.create_qp(qpn_a, psn=qpn_a)
+        qp_b = thread_b.create_qp(qpn_b, psn=qpn_b)
+        qp_a.connect(qp_b.local)
+        qp_b.connect(qp_a.local)
+        return thread_a, thread_b

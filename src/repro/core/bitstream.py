@@ -1,0 +1,49 @@
+"""Partial bitstream artifacts.
+
+A bitstream is the output of a build flow (see :mod:`repro.synth.flow`):
+it records which region it targets, which services and applications it
+contains, and its size in bytes — the quantity that determines
+reconfiguration latency through the ICAP (Table 2/3).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import FrozenSet, Tuple
+
+__all__ = ["Bitstream", "BitstreamKind"]
+
+
+class BitstreamKind:
+    FULL = "full"  # whole device (Vivado hardware-manager flow)
+    SHELL = "shell"  # dynamic + application layers
+    APP = "app"  # one vFPGA region
+
+
+@dataclass(frozen=True)
+class Bitstream:
+    """An immutable build artifact."""
+
+    kind: str
+    target_region: str
+    size_bytes: int
+    services: FrozenSet[str] = frozenset()
+    apps: Tuple[str, ...] = ()
+    device: str = "u55c"
+    #: Shell configuration identity an app bitstream was linked against;
+    #: loading an app into a different shell is refused (paper §4's
+    #: fail-safe: apps must not lose access to services they need).
+    linked_shell: str = ""
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValueError("bitstream size must be positive")
+        if self.kind not in (BitstreamKind.FULL, BitstreamKind.SHELL, BitstreamKind.APP):
+            raise ValueError(f"unknown bitstream kind {self.kind!r}")
+
+    @property
+    def shell_id(self) -> str:
+        """Stable identity of a shell configuration (services + device)."""
+        text = ",".join(sorted(self.services)) + "@" + self.device
+        return hashlib.sha1(text.encode()).hexdigest()[:12]

@@ -1,0 +1,67 @@
+"""Per-vFPGA, per-stream crediting (paper §7.2).
+
+"For each vFPGA, Coyote v2 implements a per-stream crediting mechanism,
+built on top of destination queues, which verifies the available credits
+for the specific vFPGA and data stream.  Requests are only propagated to
+the dynamic layer when sufficient space in the queue is available.
+Otherwise, the request is stalled, exerting back-pressure onto the vFPGA
+rather than the rest of the system.  Credits are replenished when previous
+requests are marked as complete."
+
+One :class:`Crediter` guards one (vFPGA, stream-kind) pair; a credit
+corresponds to one in-flight packet of destination-queue space, so holding
+a credit guarantees the shared data mover can always deposit the packet
+without blocking — that invariant is what contains back-pressure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Generator
+
+from ..sim.engine import Environment
+from ..sim.resources import Container
+
+__all__ = ["Crediter", "CreditConfig"]
+
+
+@dataclass(frozen=True)
+class CreditConfig:
+    """Credits (in packets) per vFPGA for each stream kind."""
+
+    host_credits: int = 16
+    card_credits: int = 64
+    net_credits: int = 8
+
+
+class Crediter:
+    """A counted credit pool for one vFPGA data path."""
+
+    def __init__(self, env: Environment, credits: int, name: str = "credits"):
+        if credits <= 0:
+            raise ValueError("credit count must be positive")
+        self.env = env
+        self.name = name
+        self.capacity = credits
+        self._pool = Container(env, capacity=credits, init=credits)
+        self.acquired_total = 0
+        self.stalls = 0
+
+    def acquire(self) -> Generator:
+        """Take one credit; blocks (stalling the vFPGA) when exhausted."""
+        if self._pool.level < 1:
+            self.stalls += 1
+        yield self._pool.get(1)
+        self.acquired_total += 1
+
+    def release(self) -> None:
+        """Replenish one credit (request marked complete / data consumed)."""
+        self._pool.put(1)
+
+    @property
+    def available(self) -> int:
+        return int(self._pool.level)
+
+    @property
+    def in_flight(self) -> int:
+        return self.capacity - self.available

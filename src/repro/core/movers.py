@@ -1,0 +1,385 @@
+"""Dynamic-layer data movers: the shared datapaths behind the vFPGAs.
+
+Implements the architecture of paper §6.3/§7.2:
+
+* **Host path** (PCIe, bandwidth-constrained): per-vFPGA request units
+  packetize descriptors and acquire credits, a round-robin interleaver
+  grants one packet at a time, and a pipelined mover translates (MMU) and
+  DMAs each packet.  Fairness across tenants emerges here (Figure 8).
+* **Card path** (HBM, bandwidth-rich): dedicated per-stream workers, no
+  interleaving, still credited and MMU-translated.  Parallel workers are
+  what make per-vFPGA throughput scale with channels (Figure 7a).
+
+Read credits are released when the vFPGA consumes the deposited flit
+(destination-queue crediting); write credits when the packet's write
+completes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Generator, Optional, Tuple
+
+from ..axi.types import Flit
+from ..mem.hbm import HbmController
+from ..mem.mmu import MemLocation, Mmu
+from ..pcie.xdma import Xdma
+from ..sim.engine import Environment
+from ..sim.resources import Store
+from .arbiter import RoundRobinArbiter
+from .interfaces import CompletionEntry, Descriptor, StreamType
+from .packetizer import Packet, Packetizer
+from .vfpga import VFpga
+
+__all__ = ["HostDataMover", "CardDataMover", "MoverConfig"]
+
+
+@dataclass(frozen=True)
+class MoverConfig:
+    packet_bytes: int = 4096
+    writeback: bool = True  # completion writeback vs host polling
+    carry_data: bool = True  # move real payload bytes (False: timing only)
+
+
+class _FlitAssembler:
+    """Reassembles a flit stream into arbitrary-sized byte chunks.
+
+    Tracks payload bytes and byte counts separately so timing-only flits
+    (``data is None``) interoperate: a chunk's data is returned only when
+    every contributing byte was real, otherwise ``None``.
+    """
+
+    def __init__(self) -> None:
+        self.available = 0
+        self._data = bytearray()
+        self._all_real = True
+
+    def push(self, flit: Flit) -> None:
+        self.available += flit.length
+        if flit.data is not None:
+            self._data += flit.data
+        else:
+            self._all_real = False
+
+    def take(self, length: int):
+        if length > self.available:
+            raise ValueError("taking more bytes than assembled")
+        self.available -= length
+        if self._all_real and len(self._data) >= length:
+            out = bytes(self._data[:length])
+            del self._data[:length]
+            return out
+        # Mixed or timing-only stream: drop any partial payload bytes.
+        drop = min(len(self._data), length)
+        del self._data[:drop]
+        if self.available == 0 and not self._data:
+            self._all_real = True  # stream boundary: reset for next run
+        return None
+
+
+class _CompletionMixin:
+    """Shared completion bookkeeping: CQ entry + optional writeback."""
+
+    def _complete(
+        self,
+        vfpga: VFpga,
+        packet: Packet,
+        write: bool,
+    ) -> Generator:
+        desc = packet.descriptor
+        entry = CompletionEntry(
+            vfpga_id=desc.vfpga_id,
+            pid=desc.pid,
+            wr_id=desc.wr_id,
+            length=desc.length,
+            stream=desc.stream,
+            dest=desc.dest,
+            timestamp_ns=self.env.now,
+        )
+        queue = vfpga.cq_wr if write else vfpga.cq_rd
+        yield queue.put(entry)
+        if self.config.writeback:
+            direction = "wr" if write else "rd"
+            yield from self.xdma.writeback(f"v{desc.vfpga_id}-{desc.stream.value}-{direction}")
+
+
+class HostDataMover(_CompletionMixin):
+    """Fair, credited host-memory datapath over the XDMA streaming channel."""
+
+    def __init__(
+        self,
+        env: Environment,
+        xdma: Xdma,
+        config: MoverConfig = MoverConfig(),
+    ):
+        self.env = env
+        self.xdma = xdma
+        self.config = config
+        self.packetizer = Packetizer(config.packet_bytes)
+        self.rd_arbiter = RoundRobinArbiter(env, "host-rd-arb")
+        self.wr_arbiter = RoundRobinArbiter(env, "host-wr-arb")
+        #: Optional GPU for peer-to-peer transfers to GPU-resident pages
+        #: (set by Driver.attach_gpu).
+        self.gpu = None
+        self._vfpgas: Dict[int, Tuple[VFpga, Mmu]] = {}
+        # Translate/DMA pipeline stages.
+        self._rd_staged: Store = Store(env, capacity=4)
+        self._wr_staged: Store = Store(env, capacity=4)
+        env.process(self._rd_translate(), name="host-rd-xlat")
+        env.process(self._rd_dma(), name="host-rd-dma")
+        env.process(self._wr_translate(), name="host-wr-xlat")
+        env.process(self._wr_dma(), name="host-wr-dma")
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+    def register(self, vfpga: VFpga, mmu: Mmu) -> None:
+        if vfpga.vfpga_id in self._vfpgas:
+            raise ValueError(f"vFPGA {vfpga.vfpga_id} already registered")
+        self._vfpgas[vfpga.vfpga_id] = (vfpga, mmu)
+        rd_port = self.rd_arbiter.add_port()
+        wr_port = self.wr_arbiter.add_port()
+        # Per-stream request engines: one worker per parallel host stream
+        # in each direction, so one thread's slow message never blocks
+        # another thread's (this is what makes cThreads independent).
+        vfpga._host_rd_dispatch = Store(self.env)
+        vfpga._host_wr_dispatch = Store(self.env)
+        rd_queues = [Store(self.env) for _ in vfpga.host_in]
+        wr_queues = [Store(self.env) for _ in vfpga.host_out]
+        self.env.process(
+            self._by_dest(vfpga._host_rd_dispatch, rd_queues),
+            name=f"v{vfpga.vfpga_id}-host-rd-disp",
+        )
+        self.env.process(
+            self._by_dest(vfpga._host_wr_dispatch, wr_queues),
+            name=f"v{vfpga.vfpga_id}-host-wr-disp",
+        )
+        for dest, queue in enumerate(rd_queues):
+            self.env.process(
+                self._rd_request_unit(vfpga, queue, rd_port),
+                name=f"v{vfpga.vfpga_id}-host-rd-req{dest}",
+            )
+        for dest, queue in enumerate(wr_queues):
+            self.env.process(
+                self._wr_request_unit(vfpga, dest, queue, wr_port),
+                name=f"v{vfpga.vfpga_id}-host-wr-req{dest}",
+            )
+
+    # ---------------------------------------------------- per-vFPGA units
+
+    @staticmethod
+    def _by_dest(source: Store, queues) -> Generator:
+        while True:
+            desc = yield source.get()
+            if desc.dest >= len(queues):
+                raise ValueError(
+                    f"descriptor targets host stream {desc.dest}, "
+                    f"but only {len(queues)} exist"
+                )
+            yield queues[desc.dest].put(desc)
+
+    def _rd_request_unit(self, vfpga: VFpga, queue: Store, port) -> Generator:
+        """Packetize + credit host-read descriptors, then interleave."""
+        while True:
+            desc = yield queue.get()
+            for packet in self.packetizer.split(desc):
+                yield from vfpga.rd_credits[StreamType.HOST].acquire()
+                yield from port.put(packet)
+
+    def _wr_request_unit(self, vfpga: VFpga, dest: int, queue: Store, port) -> Generator:
+        """Pull data from the vFPGA *before* propagating write packets.
+
+        The kernel's output flits need not align with packet boundaries
+        (e.g. the NN kernel emits one small flit per input chunk), so the
+        unit reassembles the byte stream into packet-sized writes.
+        """
+        staged = _FlitAssembler()
+        while True:
+            desc = yield queue.get()
+            for packet in self.packetizer.split(desc):
+                yield from vfpga.wr_credits[StreamType.HOST].acquire()
+                while staged.available < packet.length:
+                    flit = yield from vfpga.host_out[dest].recv()
+                    staged.push(flit)
+                data = staged.take(packet.length)
+                yield from port.put((packet, Flit(length=packet.length, data=data, tid=dest)))
+
+    # ------------------------------------------------------ shared movers
+
+    def _rd_translate(self) -> Generator:
+        while True:
+            packet = yield from self.rd_arbiter.get()
+            vfpga, mmu = self._vfpgas[packet.vfpga_id]
+            pid = packet.descriptor.pid
+            # Location-aware translation: GPU-resident pages are served
+            # peer-to-peer; card-resident pages migrate to host first
+            # (GPU-style fault), host pages go straight to the DMA.
+            location, paddr = yield self.env.process(
+                mmu.translate_any(pid, packet.vaddr)
+            )
+            if location is MemLocation.CARD or (
+                location is MemLocation.GPU and self.gpu is None
+            ):
+                paddr = yield self.env.process(
+                    mmu.translate(pid, packet.vaddr, MemLocation.HOST)
+                )
+                location = MemLocation.HOST
+            yield self._rd_staged.put((packet, location, paddr))
+
+    def _rd_dma(self) -> Generator:
+        while True:
+            packet, location, paddr = yield self._rd_staged.get()
+            vfpga, _mmu = self._vfpgas[packet.vfpga_id]
+            if location is MemLocation.GPU:
+                data = yield self.env.process(self.gpu.read(paddr, packet.length))
+            else:
+                data = yield self.env.process(
+                    self.xdma.read_host(paddr, packet.length, overhead=False)
+                )
+            self.bytes_read += packet.length
+            flit = Flit(
+                length=packet.length,
+                data=data if self.config.carry_data else None,
+                tid=packet.dest,
+                last=packet.last,
+            )
+            # Credits guarantee FIFO space, so the deposit happens on the
+            # (parallel) crossbar without holding up the DMA engine; per-
+            # stream ordering is preserved by the stream's bus FIFO.
+            self.env.process(self._deposit(vfpga, packet, flit))
+
+    def _deposit(self, vfpga: VFpga, packet: Packet, flit: Flit) -> Generator:
+        yield from vfpga.host_in[packet.dest].send(flit)
+        if packet.last:
+            yield from self._complete(vfpga, packet, write=False)
+
+    def _wr_translate(self) -> Generator:
+        while True:
+            packet, flit = yield from self.wr_arbiter.get()
+            _vfpga, mmu = self._vfpgas[packet.vfpga_id]
+            pid = packet.descriptor.pid
+            location, paddr = yield self.env.process(
+                mmu.translate_any(pid, packet.vaddr, writable=True)
+            )
+            if location is MemLocation.CARD or (
+                location is MemLocation.GPU and self.gpu is None
+            ):
+                paddr = yield self.env.process(
+                    mmu.translate(pid, packet.vaddr, MemLocation.HOST, writable=True)
+                )
+                location = MemLocation.HOST
+            yield self._wr_staged.put((packet, flit, location, paddr))
+
+    def _wr_dma(self) -> Generator:
+        while True:
+            packet, flit, location, paddr = yield self._wr_staged.get()
+            vfpga, _mmu = self._vfpgas[packet.vfpga_id]
+            data = flit.data if flit.data is not None else bytes(flit.length)
+            if not self.config.carry_data:
+                data = bytes(min(flit.length, packet.length))
+            if location is MemLocation.GPU:
+                yield self.env.process(self.gpu.write(paddr, data))
+            else:
+                yield self.env.process(self.xdma.write_host(paddr, data, overhead=False))
+            self.bytes_written += packet.length
+            vfpga.wr_credits[StreamType.HOST].release()
+            if packet.last:
+                yield from self._complete(vfpga, packet, write=True)
+
+
+class CardDataMover(_CompletionMixin):
+    """Dedicated (uninterleaved) per-stream HBM datapaths (paper §6.3)."""
+
+    def __init__(
+        self,
+        env: Environment,
+        xdma: Xdma,
+        hbm: HbmController,
+        config: MoverConfig = MoverConfig(),
+    ):
+        self.env = env
+        self.xdma = xdma  # only for writeback
+        self.hbm = hbm
+        self.config = config
+        self.packetizer = Packetizer(config.packet_bytes)
+        self._vfpgas: Dict[int, Tuple[VFpga, Mmu]] = {}
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+    def register(self, vfpga: VFpga, mmu: Mmu) -> None:
+        if vfpga.vfpga_id in self._vfpgas:
+            raise ValueError(f"vFPGA {vfpga.vfpga_id} already registered")
+        self._vfpgas[vfpga.vfpga_id] = (vfpga, mmu)
+        # One read and one write worker per parallel card stream: this is
+        # the parallelism that scales throughput with HBM channels.
+        rd_queues = [Store(self.env) for _ in vfpga.card_in]
+        wr_queues = [Store(self.env) for _ in vfpga.card_out]
+        vfpga._card_rd_dispatch = Store(self.env)
+        vfpga._card_wr_dispatch = Store(self.env)
+        self.env.process(
+            self._dispatch(vfpga._card_rd_dispatch, rd_queues),
+            name=f"v{vfpga.vfpga_id}-card-rd-disp",
+        )
+        self.env.process(
+            self._dispatch(vfpga._card_wr_dispatch, wr_queues),
+            name=f"v{vfpga.vfpga_id}-card-wr-disp",
+        )
+        for dest, queue in enumerate(rd_queues):
+            self.env.process(
+                self._rd_worker(vfpga, mmu, queue),
+                name=f"v{vfpga.vfpga_id}-card-rd{dest}",
+            )
+        for dest, queue in enumerate(wr_queues):
+            self.env.process(
+                self._wr_worker(vfpga, mmu, queue),
+                name=f"v{vfpga.vfpga_id}-card-wr{dest}",
+            )
+
+    def _dispatch(self, source: Store, queues) -> Generator:
+        while True:
+            desc = yield source.get()
+            if desc.dest >= len(queues):
+                raise ValueError(
+                    f"descriptor targets card stream {desc.dest}, "
+                    f"but only {len(queues)} exist"
+                )
+            yield queues[desc.dest].put(desc)
+
+    def _rd_worker(self, vfpga: VFpga, mmu: Mmu, queue: Store) -> Generator:
+        while True:
+            desc = yield queue.get()
+            for packet in self.packetizer.split(desc):
+                yield from vfpga.rd_credits[StreamType.CARD].acquire()
+                paddr = yield self.env.process(
+                    mmu.translate(desc.pid, packet.vaddr, MemLocation.CARD)
+                )
+                data = yield self.env.process(self.hbm.read(paddr, packet.length))
+                self.bytes_read += packet.length
+                flit = Flit(
+                    length=packet.length,
+                    data=data if self.config.carry_data else None,
+                    tid=packet.dest,
+                    last=packet.last,
+                )
+                yield from vfpga.card_in[packet.dest].send(flit)
+                if packet.last:
+                    yield from self._complete(vfpga, packet, write=False)
+
+    def _wr_worker(self, vfpga: VFpga, mmu: Mmu, queue: Store) -> Generator:
+        staged = _FlitAssembler()
+        while True:
+            desc = yield queue.get()
+            for packet in self.packetizer.split(desc):
+                yield from vfpga.wr_credits[StreamType.CARD].acquire()
+                while staged.available < packet.length:
+                    flit = yield from vfpga.card_out[desc.dest].recv()
+                    staged.push(flit)
+                payload = staged.take(packet.length)
+                paddr = yield self.env.process(
+                    mmu.translate(desc.pid, packet.vaddr, MemLocation.CARD, writable=True)
+                )
+                data = payload if payload is not None else bytes(packet.length)
+                yield self.env.process(self.hbm.write(paddr, data))
+                self.bytes_written += packet.length
+                vfpga.wr_credits[StreamType.CARD].release()
+                if packet.last:
+                    yield from self._complete(vfpga, packet, write=True)

@@ -1,0 +1,65 @@
+"""Packetization of arbitrary-size requests (paper §6.3).
+
+"Packetization divides transfers into manageable 4 KB chunks (default, but
+configurable), which enables precise control over outstanding transactions
+while ensuring efficient saturation of both local and remote links.  The
+shell seamlessly splits requests of arbitrary sizes into packets,
+requiring no user application involvement."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from .interfaces import Descriptor
+
+__all__ = ["Packet", "Packetizer", "DEFAULT_PACKET_BYTES"]
+
+DEFAULT_PACKET_BYTES = 4096
+
+
+@dataclass
+class Packet:
+    """A packet-sized slice of a descriptor."""
+
+    descriptor: Descriptor
+    vaddr: int
+    length: int
+    last: bool  # last packet of the parent descriptor
+
+    @property
+    def vfpga_id(self) -> int:
+        return self.descriptor.vfpga_id
+
+    @property
+    def dest(self) -> int:
+        return self.descriptor.dest
+
+
+class Packetizer:
+    """Splits descriptors into fixed-size packets."""
+
+    def __init__(self, packet_bytes: int = DEFAULT_PACKET_BYTES):
+        if packet_bytes <= 0:
+            raise ValueError("packet size must be positive")
+        self.packet_bytes = packet_bytes
+
+    def split(self, descriptor: Descriptor) -> Iterator[Packet]:
+        offset = 0
+        while offset < descriptor.length:
+            take = min(self.packet_bytes, descriptor.length - offset)
+            offset += take
+            yield Packet(
+                descriptor=descriptor,
+                vaddr=descriptor.vaddr + offset - take,
+                length=take,
+                last=offset >= descriptor.length,
+            )
+
+    def count(self, length: int) -> int:
+        """Number of packets a request of ``length`` bytes produces."""
+        return -(-length // self.packet_bytes)
+
+    def split_all(self, descriptor: Descriptor) -> List[Packet]:
+        return list(self.split(descriptor))

@@ -1,0 +1,6 @@
+"""Device driver model: memory management, faults, completions, PR ioctls."""
+
+from .driver import Driver, DriverError, ProcessContext
+from .report import card_report, format_report
+
+__all__ = ["Driver", "DriverError", "ProcessContext", "card_report", "format_report"]

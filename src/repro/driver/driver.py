@@ -1,0 +1,494 @@
+"""The Coyote v2 device driver model (paper §5.2).
+
+"Coyote v2's device driver is a Linux kernel component bridging user
+applications in software and in hardware.  It manages the FPGA and its
+peripherals, handling memory mappings, dynamic allocations, page faults,
+and partial reconfiguration."
+
+This is the host half of the hybrid MMU: it owns the per-process page
+tables, services TLB-miss walks and page faults (allocating frames and
+migrating pages between host DRAM and card HBM over the migration
+channel), demultiplexes completions and interrupts to cThreads, and
+implements the reconfiguration ioctls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Generator, List, Optional, Tuple
+
+from ..core.bitstream import Bitstream, BitstreamKind
+from ..core.interfaces import CompletionEntry, Descriptor, StreamType
+from ..core.reconfig import IcapController, ReconfigError
+from ..core.shell import Shell
+from ..core.vfpga import UserApp
+from ..mem.allocator import Allocation, AllocType, FrameAllocator, VirtualAllocator
+from ..mem.mmu import MemLocation, PageTable, PageTableEntry, SegmentationFault
+from ..mem.tlb import PAGE_1G, PAGE_2M, PAGE_4K
+from ..sim.engine import Environment
+from ..sim.resources import Store
+
+__all__ = ["Driver", "ProcessContext", "DriverError"]
+
+#: Cost of the getMem ioctl + mmap per page (host-side bookkeeping).
+ALLOC_LATENCY_PER_PAGE_NS = 800.0
+#: Fixed page-fault service overhead (interrupt + driver entry), on top of
+#: the migration transfer time.
+PAGE_FAULT_OVERHEAD_NS = 12_000.0
+
+#: Host physical address regions per page size, so frames never collide.
+_HOST_REGION_4K = (0x0000_0000, 8 << 30)
+_HOST_REGION_2M = (8 << 30, 24 << 30)
+_HOST_REGION_1G = (32 << 30, 32 << 30)
+
+
+class DriverError(Exception):
+    """Invalid request at the driver's ioctl surface."""
+
+
+@dataclass
+class ProcessContext:
+    """Driver state for one registered host process (cThread)."""
+
+    pid: int
+    vfpga_id: int
+    page_table: PageTable
+    valloc: VirtualAllocator
+    completions_rd: Store
+    completions_wr: Store
+    interrupts: Store  # eventfd analogue
+    allocations: List[Allocation] = field(default_factory=list)
+    #: Completion events registered by wr_id, so concurrent invokes from
+    #: the same thread never steal each other's completions.
+    pending: Dict[Tuple[bool, int], object] = field(default_factory=dict)
+
+    def expect(self, env: Environment, write: bool, wr_id: int):
+        """Register interest in a completion before posting descriptors."""
+        from ..sim.engine import Event
+
+        event = Event(env)
+        self.pending[(write, wr_id)] = event
+        return event
+
+
+class Driver:
+    """One driver instance per card (per :class:`Shell`)."""
+
+    def __init__(self, env: Environment, shell: Shell):
+        self.env = env
+        self.shell = shell
+        self.processes: Dict[int, ProcessContext] = {}
+        # Host frame allocators per page size.
+        self._host_frames = {
+            PAGE_4K: FrameAllocator(_HOST_REGION_4K[1], PAGE_4K, "host-4k"),
+            PAGE_2M: FrameAllocator(_HOST_REGION_2M[1], PAGE_2M, "host-2m"),
+            PAGE_1G: FrameAllocator(_HOST_REGION_1G[1], PAGE_1G, "host-1g"),
+        }
+        self._host_base = {
+            PAGE_4K: _HOST_REGION_4K[0],
+            PAGE_2M: _HOST_REGION_2M[0],
+            PAGE_1G: _HOST_REGION_1G[0],
+        }
+        self._card_frames: Optional[FrameAllocator] = None
+        self.gpu = None  # attached via attach_gpu()
+        self._bind_shell()
+        self.page_faults = 0
+        self.tlb_walks = 0
+        self.migrated_bytes = 0
+
+    def attach_gpu(self, gpu) -> None:
+        """Register a GPU as a shared-virtual-memory target (§6.1)."""
+        if gpu.config.page_size != self.shell.config.services.mmu.tlb.page_size:
+            raise DriverError(
+                "GPU page size must match the shell MMU page size for SVM"
+            )
+        self.gpu = gpu
+        self.shell.dynamic.host_mover.gpu = gpu
+
+    # ---------------------------------------------------------------- wiring
+
+    def _bind_shell(self) -> None:
+        """Bind MMU walk callbacks and interrupt demux to the (new) shell."""
+        page = self.shell.config.services.mmu.tlb.page_size
+        for vfpga_id, mmu in self.shell.dynamic.mmus.items():
+            mmu.bind_driver(self._make_walk_fn(vfpga_id), self._make_walk_any_fn())
+        if self.shell.dynamic.hbm is not None:
+            hbm = self.shell.dynamic.hbm
+            usable = hbm.config.total_bytes - (64 << 20)  # minus sniffer region
+            frame = max(page, PAGE_2M) if page <= PAGE_2M else page
+            self._card_frames = FrameAllocator(usable, frame, "card")
+        if self.gpu is not None:
+            self.shell.dynamic.host_mover.gpu = self.gpu
+        self.shell.static.on_user_interrupt(self._on_user_interrupt)
+        for vfpga in self.shell.vfpgas:
+            self.env.process(
+                self._cq_demux(vfpga.cq_rd, write=False),
+                name=f"drv-cq-rd-{vfpga.vfpga_id}",
+            )
+            self.env.process(
+                self._cq_demux(vfpga.cq_wr, write=True),
+                name=f"drv-cq-wr-{vfpga.vfpga_id}",
+            )
+        # RDMA service: local memory access goes through the MMU of the QP's
+        # owning process, then the static layer (host DMA).
+        if self.shell.dynamic.rdma is not None:
+            self.shell.dynamic.rdma.bind_memory(
+                self._rdma_read_unbound, self._rdma_write_unbound
+            )
+
+    def _cq_demux(self, queue: Store, write: bool) -> Generator:
+        while True:
+            entry: CompletionEntry = yield queue.get()
+            ctx = self.processes.get(entry.pid)
+            if ctx is None:
+                continue  # completion for an exited process
+            waiter = ctx.pending.pop((write, entry.wr_id), None)
+            if waiter is not None:
+                waiter.succeed(entry)
+                continue
+            target = ctx.completions_wr if write else ctx.completions_rd
+            yield target.put(entry)
+
+    def _on_user_interrupt(self, value: int) -> None:
+        vfpga_id = value >> 32
+        payload = value & 0xFFFFFFFF
+        for ctx in self.processes.values():
+            if ctx.vfpga_id == vfpga_id:
+                ctx.interrupts.put((self.env.now, payload))
+
+    # -------------------------------------------------------------- process
+
+    def open(self, pid: int, vfpga_id: int) -> ProcessContext:
+        """Register a cThread with the driver (the char-device ``open``)."""
+        if pid in self.processes:
+            raise DriverError(f"pid {pid} already registered")
+        if not 0 <= vfpga_id < len(self.shell.vfpgas):
+            raise DriverError(f"no vFPGA {vfpga_id}")
+        page = self.shell.config.services.mmu.tlb.page_size
+        ctx = ProcessContext(
+            pid=pid,
+            vfpga_id=vfpga_id,
+            page_table=PageTable(pid, page),
+            valloc=VirtualAllocator(),
+            completions_rd=Store(self.env),
+            completions_wr=Store(self.env),
+            interrupts=Store(self.env),
+        )
+        self.processes[pid] = ctx
+        return ctx
+
+    def close(self, pid: int) -> None:
+        ctx = self.processes.pop(pid, None)
+        if ctx is None:
+            raise DriverError(f"pid {pid} not registered")
+        for alloc in ctx.allocations:
+            self._free_pages(ctx, alloc)
+
+    def _ctx(self, pid: int) -> ProcessContext:
+        ctx = self.processes.get(pid)
+        if ctx is None:
+            raise DriverError(f"pid {pid} not registered with the driver")
+        return ctx
+
+    # --------------------------------------------------------------- memory
+
+    def get_mem(self, pid: int, length: int, alloc_type: AllocType = AllocType.HPF) -> Generator:
+        """``getMem``: allocate, map, and pre-fill the TLB (paper Code 1)."""
+        ctx = self._ctx(pid)
+        table_page = ctx.page_table.page_size
+        if alloc_type.page_size != table_page:
+            raise DriverError(
+                f"allocation page size {alloc_type.page_size} does not match "
+                f"the shell MMU page size {table_page}; rebuild or "
+                f"reconfigure the shell with a matching MMU"
+            )
+        alloc = ctx.valloc.allocate(length, alloc_type)
+        mmu = self.shell.dynamic.mmus[ctx.vfpga_id]
+        for page_no in range(alloc.num_pages):
+            vaddr = alloc.vaddr + page_no * alloc.page_size
+            frame = self._host_frames[alloc.page_size]
+            paddr = self._host_base[alloc.page_size] + frame.allocate()
+            entry = PageTableEntry(
+                vpn=ctx.page_table.vpn_of(vaddr),
+                host_paddr=paddr,
+                location=MemLocation.HOST,
+            )
+            ctx.page_table.map(entry)
+            mmu.prefill(vaddr, paddr, MemLocation.HOST)
+        ctx.allocations.append(alloc)
+        yield self.env.timeout(ALLOC_LATENCY_PER_PAGE_NS * alloc.num_pages)
+        return alloc
+
+    def free_mem(self, pid: int, alloc: Allocation) -> None:
+        ctx = self._ctx(pid)
+        ctx.valloc.free(alloc)
+        ctx.allocations.remove(alloc)
+        self._free_pages(ctx, alloc)
+
+    def _free_pages(self, ctx: ProcessContext, alloc: Allocation) -> None:
+        mmu = self.shell.dynamic.mmus.get(ctx.vfpga_id)
+        for page_no in range(alloc.num_pages):
+            vaddr = alloc.vaddr + page_no * alloc.page_size
+            entry = ctx.page_table.unmap(ctx.page_table.vpn_of(vaddr))
+            if entry is None:
+                continue
+            if entry.host_paddr is not None:
+                base = self._host_base[alloc.page_size]
+                self._host_frames[alloc.page_size].free(entry.host_paddr - base)
+            if entry.card_paddr is not None and self._card_frames is not None:
+                self._card_frames.free(entry.card_paddr)
+            if mmu is not None:
+                mmu.shootdown(vaddr)  # TLB invalidation
+
+    # ------------------------------------------------- functional host access
+
+    def _host_paddr(self, ctx: ProcessContext, vaddr: int) -> int:
+        entry = ctx.page_table.walk(vaddr)
+        if entry.host_paddr is None:
+            raise SegmentationFault(f"page of {vaddr:#x} has no host frame")
+        offset = vaddr & (ctx.page_table.page_size - 1)
+        return entry.host_paddr + offset
+
+    def write_buffer(self, pid: int, vaddr: int, data: bytes) -> None:
+        """Host-software store into a mapped buffer (untimed, CPU-side)."""
+        ctx = self._ctx(pid)
+        page = ctx.page_table.page_size
+        offset = 0
+        host_mem = self.shell.static.xdma.host_mem
+        while offset < len(data):
+            cur = vaddr + offset
+            take = min(len(data) - offset, page - (cur & (page - 1)))
+            host_mem.write(self._host_paddr(ctx, cur), data[offset : offset + take])
+            offset += take
+
+    def read_buffer(self, pid: int, vaddr: int, length: int) -> bytes:
+        ctx = self._ctx(pid)
+        page = ctx.page_table.page_size
+        host_mem = self.shell.static.xdma.host_mem
+        parts = []
+        offset = 0
+        while offset < length:
+            cur = vaddr + offset
+            take = min(length - offset, page - (cur & (page - 1)))
+            parts.append(host_mem.read(self._host_paddr(ctx, cur), take))
+            offset += take
+        return b"".join(parts)
+
+    # ----------------------------------------------------- MMU walk service
+
+    def _make_walk_fn(self, vfpga_id: int) -> Callable:
+        def walk(pid: int, vaddr: int, location: MemLocation, writable: bool) -> Generator:
+            return (yield self.env.process(self._walk(pid, vaddr, location, writable)))
+
+        return walk
+
+    def _make_walk_any_fn(self) -> Callable:
+        def walk_any(pid: int, vaddr: int, writable: bool) -> Generator:
+            yield self.env.timeout(0)
+            ctx = self._ctx(pid)
+            self.tlb_walks += 1
+            entry = ctx.page_table.walk(vaddr)
+            offset = vaddr & (ctx.page_table.page_size - 1)
+            return entry.location, entry.paddr_in(entry.location) + offset
+
+        return walk_any
+
+    def _walk(self, pid: int, vaddr: int, location: MemLocation, writable: bool) -> Generator:
+        """Host-side page-table walk; migrates on location mismatch."""
+        ctx = self._ctx(pid)
+        self.tlb_walks += 1
+        entry = ctx.page_table.walk(vaddr)  # raises SegmentationFault if unmapped
+        if entry.paddr_in(location) is None or entry.location is not location:
+            yield self.env.process(self._fault_migrate(ctx, entry, location))
+        offset = vaddr & (ctx.page_table.page_size - 1)
+        return entry.paddr_in(location) + offset
+
+    def _fault_migrate(self, ctx: ProcessContext, entry: PageTableEntry, to: MemLocation) -> Generator:
+        """GPU-style page migration over the XDMA migration channel."""
+        self.page_faults += 1
+        page = ctx.page_table.page_size
+        yield self.env.timeout(PAGE_FAULT_OVERHEAD_NS)
+        hbm = self.shell.dynamic.hbm
+        xdma = self.shell.static.xdma
+        if to is MemLocation.CARD:
+            if hbm is None or self._card_frames is None:
+                raise DriverError("page fault to card, but shell has no memory service")
+            if entry.card_paddr is None:
+                entry.card_paddr = self._card_frames.allocate()
+            yield self.env.process(xdma.migrate(page, to_card=True))
+            hbm.write_now(entry.card_paddr, xdma.host_mem.read(entry.host_paddr, page))
+        elif to is MemLocation.GPU:
+            if self.gpu is None:
+                raise DriverError("page fault to GPU, but no GPU attached")
+            if entry.gpu_paddr is None:
+                entry.gpu_paddr = self.gpu.allocate_page()
+            yield self.env.process(self.gpu.write(
+                entry.gpu_paddr, xdma.host_mem.read(entry.host_paddr, page)
+            ))
+        else:
+            if entry.host_paddr is None:
+                raise DriverError("page has no host frame to migrate back to")
+            if entry.location is MemLocation.GPU and self.gpu is not None:
+                data = yield self.env.process(self.gpu.read(entry.gpu_paddr, page))
+                xdma.host_mem.write(entry.host_paddr, data)
+            else:
+                yield self.env.process(xdma.migrate(page, to_card=False))
+                if hbm is not None and entry.card_paddr is not None:
+                    xdma.host_mem.write(
+                        entry.host_paddr, hbm.read_now(entry.card_paddr, page)
+                    )
+        entry.location = to
+        self.migrated_bytes += page
+
+    def offload(self, pid: int, vaddr: int, length: int) -> Generator:
+        """Explicit host -> card migration (``LOCAL_OFFLOAD``)."""
+        yield self.env.process(self._migrate_range(pid, vaddr, length, MemLocation.CARD))
+
+    def sync(self, pid: int, vaddr: int, length: int) -> Generator:
+        """Explicit card -> host migration (``LOCAL_SYNC``)."""
+        yield self.env.process(self._migrate_range(pid, vaddr, length, MemLocation.HOST))
+
+    def _migrate_range(self, pid: int, vaddr: int, length: int, to: MemLocation) -> Generator:
+        ctx = self._ctx(pid)
+        page = ctx.page_table.page_size
+        mmu = self.shell.dynamic.mmus[ctx.vfpga_id]
+        start = vaddr - (vaddr % page)
+        while start < vaddr + length:
+            entry = ctx.page_table.walk(start)
+            if entry.location is not to:
+                yield self.env.process(self._fault_migrate(ctx, entry, to))
+                mmu.shootdown(start)
+                mmu.prefill(start, entry.paddr_in(to), to)
+            start += page
+
+    # ---------------------------------------------------------- GPU memory
+
+    def gpu_alloc(self, pid: int, length: int) -> Generator:
+        """Allocate a GPU-resident virtual buffer in the process's SVM
+        space: vFPGA streams touching it go peer-to-peer, host never
+        involved (the §6.1 extension)."""
+        if self.gpu is None:
+            raise DriverError("no GPU attached to the driver")
+        ctx = self._ctx(pid)
+        page = ctx.page_table.page_size
+        alloc_type = {v.page_size: v for v in AllocType}[page]
+        alloc = ctx.valloc.allocate(length, alloc_type)
+        mmu = self.shell.dynamic.mmus[ctx.vfpga_id]
+        for page_no in range(alloc.num_pages):
+            vaddr = alloc.vaddr + page_no * page
+            gpu_paddr = self.gpu.allocate_page()
+            entry = PageTableEntry(
+                vpn=ctx.page_table.vpn_of(vaddr),
+                gpu_paddr=gpu_paddr,
+                location=MemLocation.GPU,
+            )
+            ctx.page_table.map(entry)
+            mmu.prefill(vaddr, gpu_paddr, MemLocation.GPU)
+        ctx.allocations.append(alloc)
+        yield self.env.timeout(ALLOC_LATENCY_PER_PAGE_NS * alloc.num_pages)
+        return alloc
+
+    def gpu_write_buffer(self, pid: int, vaddr: int, data: bytes) -> None:
+        """Host-side (cudaMemcpy-style) store into a GPU-resident buffer."""
+        ctx = self._ctx(pid)
+        page = ctx.page_table.page_size
+        offset = 0
+        while offset < len(data):
+            cur = vaddr + offset
+            take = min(len(data) - offset, page - (cur & (page - 1)))
+            entry = ctx.page_table.walk(cur)
+            if entry.gpu_paddr is None:
+                raise DriverError(f"page of {cur:#x} has no GPU frame")
+            self.gpu.upload(entry.gpu_paddr + (cur & (page - 1)), data[offset : offset + take])
+            offset += take
+
+    def gpu_read_buffer(self, pid: int, vaddr: int, length: int) -> bytes:
+        ctx = self._ctx(pid)
+        page = ctx.page_table.page_size
+        parts = []
+        offset = 0
+        while offset < length:
+            cur = vaddr + offset
+            take = min(length - offset, page - (cur & (page - 1)))
+            entry = ctx.page_table.walk(cur)
+            parts.append(self.gpu.download(entry.gpu_paddr + (cur & (page - 1)), take))
+            offset += take
+        return b"".join(parts)
+
+    # ----------------------------------------------------- RDMA memory hooks
+
+    def bind_qp(self, pid: int, qpn: int) -> None:
+        """Route a QP's local memory through its owner's MMU context."""
+        ctx = self._ctx(pid)
+        stack = self.shell.dynamic.rdma
+        if stack is None:
+            raise DriverError("shell has no RDMA service")
+        mmu = self.shell.dynamic.mmus[ctx.vfpga_id]
+        xdma = self.shell.static.xdma
+
+        def read_local(vaddr: int, length: int) -> Generator:
+            paddr = yield self.env.process(
+                mmu.translate(pid, vaddr, MemLocation.HOST)
+            )
+            data = yield self.env.process(xdma.read_host(paddr, length, overhead=False))
+            return data
+
+        def write_local(vaddr: int, data: Optional[bytes], length: int) -> Generator:
+            paddr = yield self.env.process(
+                mmu.translate(pid, vaddr, MemLocation.HOST, writable=True)
+            )
+            payload = data if data is not None else bytes(length)
+            yield self.env.process(xdma.write_host(paddr, payload, overhead=False))
+
+        stack.bind_qp_memory(qpn, read_local, write_local)
+
+    def _rdma_read_unbound(self, vaddr: int, length: int) -> Generator:
+        raise DriverError("RDMA access on a QP with no bound process")
+        yield  # pragma: no cover
+
+    def _rdma_write_unbound(self, vaddr: int, data, length: int) -> Generator:
+        raise DriverError("RDMA access on a QP with no bound process")
+        yield  # pragma: no cover
+
+    # -------------------------------------------------------- reconfiguration
+
+    def reconfigure_shell(
+        self,
+        bitstream: Bitstream,
+        services,
+        apps: Optional[List[Optional[UserApp]]] = None,
+    ) -> Generator:
+        """Full shell swap: disk read + copy_to_kernel + ICAP + rebind."""
+        yield self.env.timeout(IcapController.host_overhead_ns(bitstream))
+        yield self.env.process(self.shell.reconfigure_shell(bitstream, services, apps))
+        self._bind_shell()
+
+    def reconfigure_app(
+        self, bitstream: Bitstream, vfpga_id: int, app: UserApp, cached: bool = False
+    ) -> Generator:
+        """App-only PR.  ``cached`` skips the disk read (paper §9.3: keep
+        frequently used bitstreams in memory), paying only the
+        copy-to-kernel-space cost — the daemon mode of §9.6 (57 ms)."""
+        if cached:
+            mb = bitstream.size_bytes / 1e6
+            yield self.env.timeout(mb / 300.0 * 1e9)  # copy_to_kernel only
+        else:
+            yield self.env.timeout(IcapController.host_overhead_ns(bitstream))
+        yield self.env.process(self.shell.reconfigure_app(bitstream, vfpga_id, app))
+
+    # --------------------------------------------------------------- ioctls
+
+    def post_descriptor(self, desc: Descriptor, write: bool) -> None:
+        """ioctl surface for software-issued work.
+
+        Enforces process/vFPGA isolation: a pid may only drive the vFPGA
+        it opened, so one tenant cannot queue work (or read completions)
+        on another tenant's region.
+        """
+        ctx = self._ctx(desc.pid)
+        if ctx.vfpga_id != desc.vfpga_id:
+            raise DriverError(
+                f"pid {desc.pid} is bound to vFPGA {ctx.vfpga_id}, "
+                f"not {desc.vfpga_id}"
+            )
+        self.shell.post_descriptor(desc, write)

@@ -1,0 +1,100 @@
+"""Observability: a /proc-style status report for a card.
+
+The real driver exposes per-vFPGA state through sysfs/debugfs; operators
+read it to see which tenant is saturating the link or stalling on
+credits.  ``card_report`` gathers the equivalent counters from every
+layer of the simulated shell.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from ..core.interfaces import StreamType
+from .driver import Driver
+
+__all__ = ["card_report", "format_report"]
+
+
+def card_report(driver: Driver) -> Dict[str, Any]:
+    """Collect a structured snapshot of one card's state."""
+    shell = driver.shell
+    xdma = shell.static.xdma
+    report: Dict[str, Any] = {
+        "device": shell.config.device,
+        "services": sorted(shell.config.service_names),
+        "shell_id": shell.shell_id,
+        "reconfigurations": {
+            "shell": shell.shell_reconfigs,
+            "app": shell.app_reconfigs,
+            "icap_bytes": shell.static.icap.bytes_programmed,
+        },
+        "pcie": {
+            "h2c_bytes": xdma.link.h2c_bytes,
+            "c2h_bytes": xdma.link.c2h_bytes,
+            "interrupts": xdma.interrupts_raised,
+            "writebacks": {name: wb.count for name, wb in xdma.writebacks.items()},
+        },
+        "memory": {
+            "page_faults": driver.page_faults,
+            "tlb_walks": driver.tlb_walks,
+            "migrated_bytes": driver.migrated_bytes,
+        },
+        "processes": sorted(driver.processes),
+        "vfpgas": [],
+    }
+    for vfpga in shell.vfpgas:
+        mmu = shell.dynamic.mmus.get(vfpga.vfpga_id)
+        entry = {
+            "id": vfpga.vfpga_id,
+            "app": vfpga.app.name if vfpga.app else None,
+            "interrupts_sent": vfpga.interrupts_sent,
+            "credits": {
+                kind.value: {
+                    "rd_in_flight": vfpga.rd_credits[kind].in_flight,
+                    "rd_stalls": vfpga.rd_credits[kind].stalls,
+                    "wr_in_flight": vfpga.wr_credits[kind].in_flight,
+                    "wr_stalls": vfpga.wr_credits[kind].stalls,
+                }
+                for kind in StreamType
+            },
+        }
+        if mmu is not None:
+            entry["tlb"] = {
+                "hits": mmu.tlb.hits,
+                "misses": mmu.tlb.misses,
+                "hit_rate": round(mmu.tlb.hit_rate, 4),
+                "occupancy": mmu.tlb.occupancy,
+            }
+        report["vfpgas"].append(entry)
+    if shell.dynamic.rdma is not None:
+        report["rdma"] = dict(shell.dynamic.rdma.stats)
+    if shell.dynamic.tcp is not None:
+        report["tcp"] = dict(shell.dynamic.tcp.stats)
+    if shell.dynamic.hbm is not None:
+        report["hbm"] = {
+            "bytes_read": shell.dynamic.hbm.bytes_read,
+            "bytes_written": shell.dynamic.hbm.bytes_written,
+        }
+    if shell.dynamic.sniffer is not None:
+        report["sniffer"] = {
+            "captured": shell.dynamic.sniffer.captured,
+            "dropped": shell.dynamic.sniffer.dropped,
+        }
+    return report
+
+
+def _lines(prefix: str, value: Any):
+    if isinstance(value, dict):
+        for key, sub in value.items():
+            yield from _lines(f"{prefix}.{key}" if prefix else str(key), sub)
+    elif isinstance(value, list) and value and isinstance(value[0], dict):
+        for i, sub in enumerate(value):
+            yield from _lines(f"{prefix}[{i}]", sub)
+    else:
+        yield f"{prefix}: {value}"
+
+
+def format_report(report: Dict[str, Any]) -> str:
+    """Flatten the snapshot into sysfs-style `key: value` lines."""
+    return "\n".join(_lines("", report))

@@ -1,0 +1,72 @@
+"""Run every paper-reproduction experiment and print the results.
+
+Usage::
+
+    python -m repro.experiments            # everything
+    python -m repro.experiments fig8 fig10b table3   # a selection
+
+This is what regenerates the numbers recorded in EXPERIMENTS.md; the
+pytest-benchmark wrappers in ``benchmarks/`` additionally assert the
+paper's claims on each result.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from . import (
+    run_ablation_credits,
+    run_ablation_packet_size,
+    run_ablation_page_size,
+    run_ablation_transport,
+    run_ablation_striping,
+    run_ablation_writeback,
+    run_fig7a,
+    run_fig7b,
+    run_fig8,
+    run_fig10a,
+    run_fig10b,
+    run_fig11,
+    run_fig12,
+    run_table1,
+    run_table2,
+    run_table3,
+)
+
+RUNNERS = {
+    "table1": run_table1,
+    "table2": run_table2,
+    "table3": run_table3,
+    "fig7a": run_fig7a,
+    "fig7b": run_fig7b,
+    "fig8": run_fig8,
+    "fig10a": run_fig10a,
+    "fig10b": run_fig10b,
+    "fig11": run_fig11,
+    "fig12": run_fig12,
+    "ablation-packet": run_ablation_packet_size,
+    "ablation-page": run_ablation_page_size,
+    "ablation-credits": run_ablation_credits,
+    "ablation-striping": run_ablation_striping,
+    "ablation-writeback": run_ablation_writeback,
+    "ablation-transport": run_ablation_transport,
+}
+
+
+def main(argv) -> int:
+    names = argv or list(RUNNERS)
+    unknown = [n for n in names if n not in RUNNERS]
+    if unknown:
+        print(f"unknown experiments: {unknown}; choose from {sorted(RUNNERS)}")
+        return 2
+    for name in names:
+        started = time.time()
+        result = RUNNERS[name]()
+        print(result.render())
+        print(f"[{name}: {time.time() - started:.1f}s wall]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,140 @@
+"""Tables 1-3: feature matrix, reconfiguration throughput and latency."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..baselines.features import FEATURE_MATRIX, render_table
+from ..core.bitstream import Bitstream, BitstreamKind
+from ..core.dynamic_layer import ServiceConfig
+from ..core.reconfig import (
+    AXI_HWICAP,
+    COYOTE_ICAP,
+    MCAP,
+    PCAP,
+    IcapController,
+    VivadoHwManager,
+)
+from ..mem.mmu import MmuConfig
+from ..mem.tlb import PAGE_1G, TlbConfig
+from ..sim.engine import Environment
+from ..sim.tracing import mean_std
+from ..synth.flow import BuildFlow
+from .common import ExperimentResult
+
+__all__ = ["run_table1", "run_table2", "run_table3", "TABLE3_SCENARIOS"]
+
+
+def run_table1() -> ExperimentResult:
+    """Table 1: the feature comparison (static data, rendered)."""
+    result = ExperimentResult("Table 1", "Feature comparison of FPGA shells")
+    for shell in FEATURE_MATRIX:
+        result.add_row(
+            shell=shell.name,
+            services=shell.services.symbol,
+            service_reconfig=shell.service_reconfig.symbol,
+            svm=shell.shared_virtual_memory.symbol,
+            multi_app=shell.multiple_reconfigurable_apps.symbol,
+            multi_thread=shell.multi_threading.symbol,
+            interface=shell.app_interface,
+            interrupts=shell.interrupts.symbol,
+            open_source=shell.open_source.symbol,
+        )
+    result.notes.append("full rendering:\n" + render_table())
+    return result
+
+
+def run_table2(bitstream_mb: float = 16.0) -> ExperimentResult:
+    """Table 2: stream one partial bitstream through each config port."""
+    result = ExperimentResult("Table 2", "Reconfiguration throughput comparison")
+    size = int(bitstream_mb * 1e6)
+    bitstream = Bitstream(
+        kind=BitstreamKind.APP, target_region="vfpga0", size_bytes=size
+    )
+    for port in (AXI_HWICAP, PCAP, MCAP, COYOTE_ICAP):
+        env = Environment()
+        icap = IcapController(env, port=port)
+
+        def proc(controller=icap):
+            yield env.process(controller.program(bitstream, from_host=False))
+            return env.now
+
+        elapsed_ns = env.run(env.process(proc()))
+        measured = size / (elapsed_ns / 1e3) if elapsed_ns else 0.0  # MB/s
+        result.add_row(
+            application=port.name,
+            max_throughput_mbps=round(measured, 1),
+            interface=port.interface,
+            paper_mbps=port.throughput_mbps,
+        )
+    return result
+
+
+#: The three reconfiguration scenarios of §9.3 (the *target* shells).
+TABLE3_SCENARIOS: List[Tuple[str, ServiceConfig, List[str]]] = [
+    (
+        "#1 pass-through, MMU 2MB -> 1GB pages",
+        ServiceConfig(en_memory=False, mmu=MmuConfig(tlb=TlbConfig(page_size=PAGE_1G))),
+        ["passthrough"],
+    ),
+    (
+        "#2 RDMA+kernel -> two numerical kernels, no network",
+        ServiceConfig(en_memory=True),
+        ["vadd", "vmul"],
+    ),
+    (
+        "#3 RDMA+sniffer -> RDMA only",
+        ServiceConfig(en_memory=True, en_rdma=True),
+        ["aes_cbc"],
+    ),
+]
+
+
+def run_table3(trials: int = 5) -> ExperimentResult:
+    """Table 3: shell reconfiguration latency for the three scenarios."""
+    result = ExperimentResult("Table 3", "Reconfiguration latency per shell config")
+    flow = BuildFlow("u55c")
+    paper = {
+        0: (51.6, 536.2, 55_922.5),
+        1: (72.3, 709.0, 63_045.2),
+        2: (85.5, 929.1, 71_417.9),
+    }
+    for index, (label, services, apps) in enumerate(TABLE3_SCENARIOS):
+        shell_bs = flow.shell_flow(services, apps).bitstream
+        full_bs = flow.full_flow(services, apps).bitstream
+        kernel_samples = []
+        total_samples = []
+        vivado_samples = []
+        for _ in range(trials):
+            env = Environment()
+            icap = IcapController(env)
+
+            def reconfigure():
+                yield env.timeout(IcapController.host_overhead_ns(shell_bs))
+                start_kernel = env.now
+                yield env.process(icap.program(shell_bs, from_host=False))
+                return start_kernel
+
+            start_kernel = env.run(env.process(reconfigure()))
+            total_samples.append(env.now / 1e6)
+            kernel_samples.append((env.now - start_kernel) / 1e6)
+            vivado_samples.append(VivadoHwManager(env).program_time_ns(full_bs) / 1e6)
+        k_mean, k_std = mean_std(kernel_samples)
+        t_mean, t_std = mean_std(total_samples)
+        v_mean, _ = mean_std(vivado_samples)
+        result.add_row(
+            scenario=label,
+            kernel_ms=round(k_mean, 1),
+            kernel_std=round(k_std, 2),
+            total_ms=round(t_mean, 1),
+            total_std=round(t_std, 2),
+            vivado_ms=round(v_mean, 1),
+            paper_kernel_ms=paper[index][0],
+            paper_total_ms=paper[index][1],
+            paper_vivado_ms=paper[index][2],
+        )
+    result.notes.append(
+        "Coyote v2 shell reconfiguration is an order of magnitude faster "
+        "than full reprogramming via Vivado Hardware Manager."
+    )
+    return result

@@ -1,0 +1,47 @@
+"""Memory substrate: sparse memories, HBM controller, TLB/MMU, allocators."""
+
+from .allocator import (
+    Allocation,
+    AllocType,
+    FrameAllocator,
+    OutOfMemoryError,
+    VirtualAllocator,
+)
+from .gpu import GpuConfig, GpuDevice
+from .hbm import HbmConfig, HbmController
+from .mmu import Mmu, MmuConfig, PageTable, PageTableEntry, SegmentationFault
+from .sparse import SparseMemory
+from .tlb import (
+    PAGE_1G,
+    PAGE_2M,
+    PAGE_4K,
+    MemLocation,
+    Tlb,
+    TlbConfig,
+    TlbEntry,
+)
+
+__all__ = [
+    "SparseMemory",
+    "HbmConfig",
+    "HbmController",
+    "GpuConfig",
+    "GpuDevice",
+    "Tlb",
+    "TlbConfig",
+    "TlbEntry",
+    "MemLocation",
+    "PAGE_4K",
+    "PAGE_2M",
+    "PAGE_1G",
+    "Mmu",
+    "MmuConfig",
+    "PageTable",
+    "PageTableEntry",
+    "SegmentationFault",
+    "AllocType",
+    "Allocation",
+    "VirtualAllocator",
+    "FrameAllocator",
+    "OutOfMemoryError",
+]

@@ -1,0 +1,214 @@
+"""The hybrid MMU: on-chip TLBs, host-side page-table walks, page faults.
+
+Paper §6.1: "TLBs are implemented in on-chip SRAM, enabling fast look-ups,
+while the rest of the MMU is implemented in the host-side driver; that is,
+when a TLB miss is detected, the system falls back to the driver to obtain
+the physical address."  A fault (page absent from the requested memory)
+triggers a GPU-style migration.
+
+This module provides the hardware half (:class:`Mmu`, one per vFPGA) and
+the shared page table the driver half operates on.  Latencies:
+
+* TLB hit: one fabric cycle (folded into the datapath, not charged here).
+* TLB miss, page resident: driver walk over MSI-X + ioctl, ~1.2 us.
+* Page fault: driver allocates/migrates the page; milliseconds-scale
+  depending on page size and PCIe bandwidth (charged by the migration
+  engine the driver injects).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Generator, Optional, Tuple
+
+from ..sim.engine import Environment
+from ..sim.resources import Resource
+from .tlb import MemLocation, Tlb, TlbConfig, TlbEntry
+
+__all__ = ["PageTable", "PageTableEntry", "Mmu", "MmuConfig", "SegmentationFault"]
+
+#: TLB-miss service time when the page is resident (driver walk, paper §6.1).
+TLB_MISS_WALK_NS = 1_200.0
+
+
+class SegmentationFault(Exception):
+    """Access to a virtual address with no mapping in the page table."""
+
+
+@dataclass
+class PageTableEntry:
+    """Driver-owned mapping of one virtual page of a process."""
+
+    vpn: int
+    host_paddr: Optional[int] = None
+    card_paddr: Optional[int] = None
+    gpu_paddr: Optional[int] = None
+    location: MemLocation = MemLocation.HOST
+    writable: bool = True
+    dirty: bool = False
+
+    def paddr_in(self, location: MemLocation) -> Optional[int]:
+        return {
+            MemLocation.HOST: self.host_paddr,
+            MemLocation.CARD: self.card_paddr,
+            MemLocation.GPU: self.gpu_paddr,
+        }[location]
+
+
+class PageTable:
+    """Per-process page table, keyed by virtual page number."""
+
+    def __init__(self, pid: int, page_size: int):
+        self.pid = pid
+        self.page_size = page_size
+        self.entries: Dict[int, PageTableEntry] = {}
+
+    @property
+    def page_shift(self) -> int:
+        return self.page_size.bit_length() - 1
+
+    def vpn_of(self, vaddr: int) -> int:
+        return vaddr >> self.page_shift
+
+    def map(self, entry: PageTableEntry) -> None:
+        self.entries[entry.vpn] = entry
+
+    def unmap(self, vpn: int) -> Optional[PageTableEntry]:
+        return self.entries.pop(vpn, None)
+
+    def walk(self, vaddr: int) -> PageTableEntry:
+        entry = self.entries.get(self.vpn_of(vaddr))
+        if entry is None:
+            raise SegmentationFault(
+                f"pid {self.pid}: no mapping for vaddr {vaddr:#x}"
+            )
+        return entry
+
+
+@dataclass(frozen=True)
+class MmuConfig:
+    """Hardware MMU parameters.
+
+    ``xlat_stations`` and ``xlat_service_ns`` model the shared datapath
+    translation pipeline whose saturation causes the bandwidth taper in
+    Figure 7(a): aggregate translated bandwidth is bounded by
+    ``stations * packet_bytes / service_ns``.
+    """
+
+    tlb: TlbConfig = TlbConfig()
+    xlat_stations: int = 4
+    xlat_service_ns: float = 100.0
+
+
+class Mmu:
+    """Per-vFPGA memory management unit (hardware side).
+
+    The driver injects ``walk_fn(pid, vaddr, location, writable)`` which
+    performs the host-side walk and any required migration, returning the
+    physical address in the requested memory.  ``walk_fn`` is a generator
+    (it runs in simulated time).
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        config: MmuConfig = MmuConfig(),
+        name: str = "mmu",
+    ):
+        self.env = env
+        self.config = config
+        self.name = name
+        self.tlb = Tlb(config.tlb)
+        self._xlat = Resource(env, capacity=config.xlat_stations)
+        self.walk_fn: Optional[Callable] = None
+        self.walk_any_fn: Optional[Callable] = None
+        self.page_faults = 0
+        self.walks = 0
+
+    def bind_driver(self, walk_fn: Callable, walk_any_fn: Optional[Callable] = None) -> None:
+        self.walk_fn = walk_fn
+        self.walk_any_fn = walk_any_fn
+
+    def translate(
+        self,
+        pid: int,
+        vaddr: int,
+        location: MemLocation,
+        writable: bool = False,
+    ) -> Generator:
+        """Translate one packet's address; returns the physical address.
+
+        Charges the shared translation-pipeline occupancy (taper source)
+        plus, on a miss, the driver walk.
+        """
+        grant = self._xlat.request()
+        yield grant
+        try:
+            yield self.env.timeout(self.config.xlat_service_ns)
+            entry = self.tlb.lookup(vaddr)
+            if entry is not None and entry.location is location:
+                paddr = (entry.ppn << self.tlb.config.page_shift) | self.tlb.offset_of(vaddr)
+                return paddr
+        finally:
+            self._xlat.release(grant)
+        # Miss path: fall back to the host-side driver (outside the
+        # translation pipeline so hits are not blocked behind walks).
+        if self.walk_fn is None:
+            raise SegmentationFault(f"{self.name}: no driver bound")
+        self.walks += 1
+        yield self.env.timeout(TLB_MISS_WALK_NS)
+        paddr = yield self.env.process(self.walk_fn(pid, vaddr, location, writable))
+        ppn = paddr >> self.tlb.config.page_shift
+        self.tlb.insert(
+            TlbEntry(
+                vpn=self.tlb.vpn_of(vaddr), ppn=ppn, location=location, writable=writable
+            )
+        )
+        return paddr
+
+    def translate_any(self, pid: int, vaddr: int, writable: bool = False) -> Generator:
+        """Translate to wherever the page currently lives.
+
+        Returns ``(location, paddr)`` without triggering a migration —
+        this is the path that lets the datapath issue direct PCIe
+        peer-to-peer transfers to GPU-resident pages.
+        """
+        grant = self._xlat.request()
+        yield grant
+        try:
+            yield self.env.timeout(self.config.xlat_service_ns)
+            entry = self.tlb.lookup(vaddr)
+            if entry is not None:
+                paddr = (entry.ppn << self.tlb.config.page_shift) | self.tlb.offset_of(vaddr)
+                return entry.location, paddr
+        finally:
+            self._xlat.release(grant)
+        if self.walk_any_fn is None:
+            raise SegmentationFault(f"{self.name}: no driver bound")
+        self.walks += 1
+        yield self.env.timeout(TLB_MISS_WALK_NS)
+        location, paddr = yield self.env.process(self.walk_any_fn(pid, vaddr, writable))
+        self.tlb.insert(
+            TlbEntry(
+                vpn=self.tlb.vpn_of(vaddr),
+                ppn=paddr >> self.tlb.config.page_shift,
+                location=location,
+                writable=writable,
+            )
+        )
+        return location, paddr
+
+    def prefill(self, vaddr: int, paddr: int, location: MemLocation, writable: bool = True) -> None:
+        """Install a translation without a walk (driver-initiated, e.g. getMem)."""
+        self.tlb.insert(
+            TlbEntry(
+                vpn=self.tlb.vpn_of(vaddr),
+                ppn=paddr >> self.tlb.config.page_shift,
+                location=location,
+                writable=writable,
+            )
+        )
+
+    def shootdown(self, vaddr: int) -> bool:
+        """TLB invalidation (driver-triggered on unmap/migration)."""
+        return self.tlb.invalidate(vaddr)

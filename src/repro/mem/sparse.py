@@ -1,0 +1,65 @@
+"""Sparse byte-addressable memory.
+
+Backs both host DRAM and card HBM/DDR functionally.  Pages are allocated
+lazily so multi-gigabyte address spaces cost nothing until touched.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+__all__ = ["SparseMemory"]
+
+_BACKING_PAGE = 4096
+
+
+class SparseMemory:
+    """A dictionary-of-pages byte store with zero-fill semantics."""
+
+    def __init__(self, size: int, name: str = "mem"):
+        if size <= 0:
+            raise ValueError("memory size must be positive")
+        self.size = size
+        self.name = name
+        self._pages: Dict[int, bytearray] = {}
+
+    def _check_range(self, addr: int, length: int) -> None:
+        if addr < 0 or length < 0 or addr + length > self.size:
+            raise ValueError(
+                f"{self.name}: access [{addr:#x}, {addr + length:#x}) outside "
+                f"size {self.size:#x}"
+            )
+
+    def read(self, addr: int, length: int) -> bytes:
+        self._check_range(addr, length)
+        out = bytearray(length)
+        offset = 0
+        while offset < length:
+            page_no, page_off = divmod(addr + offset, _BACKING_PAGE)
+            take = min(length - offset, _BACKING_PAGE - page_off)
+            page = self._pages.get(page_no)
+            if page is not None:
+                out[offset : offset + take] = page[page_off : page_off + take]
+            offset += take
+        return bytes(out)
+
+    def write(self, addr: int, data: bytes) -> None:
+        self._check_range(addr, len(data))
+        offset = 0
+        while offset < len(data):
+            page_no, page_off = divmod(addr + offset, _BACKING_PAGE)
+            take = min(len(data) - offset, _BACKING_PAGE - page_off)
+            page = self._pages.get(page_no)
+            if page is None:
+                page = bytearray(_BACKING_PAGE)
+                self._pages[page_no] = page
+            page[page_off : page_off + take] = data[offset : offset + take]
+            offset += take
+
+    def fill(self, addr: int, length: int, value: int = 0) -> None:
+        self.write(addr, bytes([value]) * length)
+
+    @property
+    def resident_bytes(self) -> int:
+        """Bytes of backing store actually allocated."""
+        return len(self._pages) * _BACKING_PAGE

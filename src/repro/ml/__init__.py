@@ -1,0 +1,30 @@
+"""hls4ml-style ML integration: compiler, quantization, Coyote overlay."""
+
+from .compiler import (
+    BACKENDS,
+    DenseSpec,
+    HlsConfig,
+    HlsModel,
+    ModelSpec,
+    NnIpCore,
+    config_from_model,
+    convert_model,
+    intrusion_detection_model,
+)
+from .overlay import CoyoteOverlay
+from .quantize import DEFAULT_PRECISION, FixedPointType
+
+__all__ = [
+    "ModelSpec",
+    "DenseSpec",
+    "HlsConfig",
+    "HlsModel",
+    "NnIpCore",
+    "config_from_model",
+    "convert_model",
+    "intrusion_detection_model",
+    "BACKENDS",
+    "CoyoteOverlay",
+    "FixedPointType",
+    "DEFAULT_PRECISION",
+]

@@ -1,0 +1,138 @@
+"""CoyoteOverlay: deploy an hls4ml IP through the shell (paper Code 3).
+
+.. code-block:: python
+
+    overlay = CoyoteOverlay(driver, hls_model)
+    yield from overlay.program_fpga()
+    preds = yield from overlay.predict(X, batch_size=1024)
+
+``program_fpga`` runs the app flow against the live shell's checkpoint and
+partially reconfigures a vFPGA with the NN kernel; ``predict`` streams
+batches straight from host memory through the IP and back, using the
+high-performance C(++)Thread API underneath — the whole point of Figure 12.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Generator, Optional
+
+import numpy as np
+
+from ..apps.nn import NnApp
+from ..driver.driver import Driver
+from ..api.cthread import CThread
+from ..core.interfaces import LocalSg, Oper, SgEntry
+from ..synth.flow import BuildFlow, LockedShellCheckpoint
+from ..synth.netlist import modules_for_services
+from ..synth.resources import ResourceVector
+from .compiler import HlsModel
+
+__all__ = ["CoyoteOverlay"]
+
+#: Per-predict-call software overhead of the C++ API (descriptor setup,
+#: syscall-free doorbell).  The PYNQ baseline's Python runtime charges
+#: ~30x this (see repro.baselines.pynq).
+COYOTE_CALL_OVERHEAD_NS = 60_000.0
+
+_pids = itertools.count(77_000)
+
+
+class CoyoteOverlay:
+    """Runtime handle for one deployed NN accelerator."""
+
+    def __init__(self, driver: Driver, hls_model: HlsModel, vfpga_id: int = 0):
+        if hls_model.backend != "CoyoteAccelerator":
+            raise ValueError(
+                f"model was converted for backend {hls_model.backend!r}; "
+                "rebuild with backend='CoyoteAccelerator'"
+            )
+        self.driver = driver
+        self.env = driver.env
+        self.hls_model = hls_model
+        self.vfpga_id = vfpga_id
+        self.ip = hls_model.build()
+        self.app: Optional[NnApp] = None
+        self._cthread: Optional[CThread] = None
+
+    # ------------------------------------------------------------- deploy
+
+    def program_fpga(self) -> Generator:
+        """App-flow build + partial reconfiguration of the vFPGA."""
+        shell = self.driver.shell
+        flow = BuildFlow(shell.config.device, num_vfpgas=shell.config.num_vfpgas)
+        services_used = sum(
+            m.luts for m in modules_for_services(shell.config.services)
+        )
+        checkpoint = LockedShellCheckpoint(
+            device=shell.config.device,
+            services=shell.config.services,
+            shell_id=shell.shell_id,
+            used_luts=services_used,
+        )
+        bitstream = flow.app_flow(checkpoint, []).bitstream
+        # Account the IP's own configuration data on top of the region fill.
+        bitstream = type(bitstream)(
+            kind=bitstream.kind,
+            target_region=bitstream.target_region,
+            size_bytes=bitstream.size_bytes + 72 * self.ip.resources.luts,
+            services=bitstream.services,
+            apps=(self.ip.name,),
+            device=bitstream.device,
+            linked_shell=bitstream.linked_shell,
+        )
+        self.app = NnApp(self.ip)
+        yield self.env.process(
+            self.driver.reconfigure_app(bitstream, self.vfpga_id, self.app)
+        )
+        self._cthread = CThread(self.driver, self.vfpga_id, pid=next(_pids))
+
+    # ------------------------------------------------------------ predict
+
+    def predict(
+        self, x: np.ndarray, batch_size: int = 1024
+    ) -> Generator:
+        """Run inference on hardware; returns the dequantized outputs."""
+        if self._cthread is None:
+            raise RuntimeError("call program_fpga() before predict()")
+        ip = self.ip
+        ct = self._cthread
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2 or x.shape[1] != ip.input_width:
+            raise ValueError(f"expected (*, {ip.input_width}) inputs, got {x.shape}")
+        total = x.shape[0]
+        out = np.zeros((total, ip.output_width))
+        src = yield from ct.get_mem(max(4096, batch_size * ip.sample_in_bytes))
+        dst = yield from ct.get_mem(max(4096, batch_size * ip.sample_out_bytes))
+        for start in range(0, total, batch_size):
+            batch = x[start : start + batch_size]
+            codes = ip.precision.quantize(batch).astype("<i2")
+            ct.write_buffer(src.vaddr, codes.tobytes())
+            yield self.env.timeout(COYOTE_CALL_OVERHEAD_NS)
+            sg = SgEntry(
+                local=LocalSg(
+                    src_addr=src.vaddr,
+                    src_len=len(batch) * ip.sample_in_bytes,
+                    dst_addr=dst.vaddr,
+                    dst_len=len(batch) * ip.sample_out_bytes,
+                )
+            )
+            yield from ct.invoke(Oper.LOCAL_TRANSFER, sg)
+            raw = ct.read_buffer(dst.vaddr, len(batch) * ip.sample_out_bytes)
+            y_codes = np.frombuffer(raw, dtype="<i2").reshape(
+                len(batch), ip.output_width
+            )
+            out[start : start + len(batch)] = ip.precision.dequantize(
+                y_codes.astype(np.int64)
+            )
+        return out
+
+    # ----------------------------------------------------------- reporting
+
+    def total_resources(self) -> ResourceVector:
+        """Shell + IP utilisation (the Figure 12 resource bars)."""
+        shell_modules = modules_for_services(self.driver.shell.config.services)
+        total = ResourceVector()
+        for module in shell_modules:
+            total = total + module.resources
+        return total + self.ip.resources

@@ -1,0 +1,69 @@
+"""Fixed-point quantization, hls4ml-style.
+
+hls4ml compiles networks to ``ap_fixed<W, I>`` arithmetic.  We implement
+the same scheme: signed fixed point with ``total_bits`` bits, ``int_bits``
+of them (including sign) left of the binary point, round-to-nearest and
+saturation.  The hardware kernel and the software emulation share this
+code, so ``predict()`` on the FPGA matches ``compile()`` emulation
+bit-exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["FixedPointType", "DEFAULT_PRECISION"]
+
+
+@dataclass(frozen=True)
+class FixedPointType:
+    """``ap_fixed<total_bits, int_bits>``: signed, rounded, saturating."""
+
+    total_bits: int = 16
+    int_bits: int = 6
+
+    def __post_init__(self) -> None:
+        if not 2 <= self.total_bits <= 32:
+            raise ValueError("total_bits must be in [2, 32]")
+        if not 1 <= self.int_bits <= self.total_bits:
+            raise ValueError("int_bits must be in [1, total_bits]")
+
+    @property
+    def frac_bits(self) -> int:
+        return self.total_bits - self.int_bits
+
+    @property
+    def scale(self) -> float:
+        return float(1 << self.frac_bits)
+
+    @property
+    def max_int(self) -> int:
+        return (1 << (self.total_bits - 1)) - 1
+
+    @property
+    def min_int(self) -> int:
+        return -(1 << (self.total_bits - 1))
+
+    def quantize(self, values: np.ndarray) -> np.ndarray:
+        """Real -> integer codes (round to nearest, saturate)."""
+        scaled = np.rint(np.asarray(values, dtype=np.float64) * self.scale)
+        return np.clip(scaled, self.min_int, self.max_int).astype(np.int64)
+
+    def dequantize(self, codes: np.ndarray) -> np.ndarray:
+        return np.asarray(codes, dtype=np.float64) / self.scale
+
+    def roundtrip(self, values: np.ndarray) -> np.ndarray:
+        """The representable value nearest to each input."""
+        return self.dequantize(self.quantize(values))
+
+    @property
+    def resolution(self) -> float:
+        return 1.0 / self.scale
+
+    def __str__(self) -> str:
+        return f"ap_fixed<{self.total_bits},{self.int_bits}>"
+
+
+DEFAULT_PRECISION = FixedPointType(16, 6)

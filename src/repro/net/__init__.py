@@ -1,0 +1,66 @@
+"""Networking substrate: RoCE v2 stack, CMAC, switch fabric, sniffer, PCAP."""
+
+from .cmac import CMAC_BANDWIDTH, Cmac
+from .collectives import CollectiveError, CollectiveGroup, sum_i32
+from .headers import (
+    ETHERTYPE_IPV4,
+    IP_PROTO_UDP,
+    ROCE_UDP_PORT,
+    AethHeader,
+    BthHeader,
+    EthernetHeader,
+    Ipv4Header,
+    MacAddress,
+    RethHeader,
+    RoceOpcode,
+    UdpHeader,
+    icrc32,
+)
+from .packet import ParseError, RocePacket
+from .pcap import PcapWriter, read_pcap
+from .qp import PSN_MOD, QpEndpoint, QpState, QueuePair
+from .rdma import Completion, RdmaConfig, RdmaError, RdmaStack
+from .sniffer import TrafficSniffer, parse_capture_buffer
+from .switch import Switch
+from .tcp import TcpConnection, TcpError, TcpHeader, TcpPacket, TcpStack, TcpState
+
+__all__ = [
+    "MacAddress",
+    "EthernetHeader",
+    "Ipv4Header",
+    "UdpHeader",
+    "BthHeader",
+    "RethHeader",
+    "AethHeader",
+    "RoceOpcode",
+    "ROCE_UDP_PORT",
+    "ETHERTYPE_IPV4",
+    "IP_PROTO_UDP",
+    "icrc32",
+    "RocePacket",
+    "ParseError",
+    "QueuePair",
+    "QpEndpoint",
+    "QpState",
+    "PSN_MOD",
+    "RdmaStack",
+    "RdmaConfig",
+    "RdmaError",
+    "Completion",
+    "Cmac",
+    "CMAC_BANDWIDTH",
+    "Switch",
+    "TrafficSniffer",
+    "parse_capture_buffer",
+    "PcapWriter",
+    "read_pcap",
+    "TcpStack",
+    "TcpConnection",
+    "TcpHeader",
+    "TcpPacket",
+    "TcpState",
+    "TcpError",
+    "CollectiveGroup",
+    "CollectiveError",
+    "sum_i32",
+]

@@ -1,0 +1,74 @@
+"""100G CMAC model: the card's Ethernet MAC.
+
+Serialises frames at 100 Gbit/s (12.5 bytes/ns) with the standard 20-byte
+inter-frame overhead (preamble + IPG).  The sniffer service (paper §8)
+inserts its filter between the network stacks and the CMAC, so the MAC
+exposes TX/RX tap points.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, List, Optional
+
+from ..sim.engine import Environment
+from ..sim.resources import Resource, Store
+from .packet import RocePacket
+
+__all__ = ["Cmac", "CMAC_BANDWIDTH"]
+
+#: 100 Gbit/s in bytes per nanosecond.
+CMAC_BANDWIDTH = 12.5
+#: Preamble + start delimiter + minimum inter-packet gap, in bytes.
+FRAME_OVERHEAD_BYTES = 20
+
+
+class Cmac:
+    """One port of 100G Ethernet attached to the switch fabric."""
+
+    def __init__(self, env: Environment, name: str = "cmac"):
+        self.env = env
+        self.name = name
+        self._tx_port = Resource(env, capacity=1)
+        self.rx_queue: Store = Store(env)
+        self._wire: Optional[Callable[[RocePacket], None]] = None
+        # Taps: the sniffer filter registers observers here.
+        self.tx_taps: List[Callable[[float, RocePacket], None]] = []
+        self.rx_taps: List[Callable[[float, RocePacket], None]] = []
+        self.tx_frames = 0
+        self.rx_frames = 0
+        self.tx_bytes = 0
+        self.rx_bytes = 0
+
+    def attach_wire(self, deliver: Callable[[RocePacket], None]) -> None:
+        """Connect to the switch; ``deliver`` enqueues into the fabric."""
+        self._wire = deliver
+
+    def tx(self, packet: RocePacket) -> Generator:
+        """Serialise one frame onto the wire."""
+        if self._wire is None:
+            raise RuntimeError(f"{self.name}: not attached to a wire")
+        grant = self._tx_port.request()
+        yield grant
+        try:
+            wire_bytes = packet.wire_length + FRAME_OVERHEAD_BYTES
+            yield self.env.timeout(wire_bytes / CMAC_BANDWIDTH)
+        finally:
+            self._tx_port.release(grant)
+        self.tx_frames += 1
+        self.tx_bytes += packet.wire_length
+        for tap in self.tx_taps:
+            tap(self.env.now, packet)
+        self._wire(packet)
+
+    def deliver(self, packet: RocePacket) -> None:
+        """Called by the switch when a frame arrives for this port."""
+        self.rx_frames += 1
+        self.rx_bytes += packet.wire_length
+        for tap in self.rx_taps:
+            tap(self.env.now, packet)
+        self.rx_queue.put(packet)
+
+    def rx(self) -> Generator:
+        """Receive the next frame: ``pkt = yield from cmac.rx()``."""
+        packet = yield self.rx_queue.get()
+        return packet

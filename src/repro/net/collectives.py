@@ -1,0 +1,167 @@
+"""Collective communication over the RDMA service (paper future work).
+
+The conclusion names "support for services such as collective
+communication [ACCL+]" as future work; ACCL+ builds collectives on
+exactly this kind of FPGA RDMA stack.  This module implements the two
+canonical collectives over a fully-connected QP mesh:
+
+* **broadcast** — binomial tree from the root;
+* **allreduce** — ring reduce-scatter followed by ring allgather
+  (bandwidth-optimal: each node sends ``2 * (n-1)/n * size`` bytes).
+
+Data is real: reductions operate on little-endian int32 vectors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Generator, List, Optional
+
+import numpy as np
+
+from ..sim.engine import Environment
+from .rdma import RdmaStack
+
+__all__ = ["CollectiveGroup", "CollectiveError", "sum_i32"]
+
+
+class CollectiveError(Exception):
+    """Mesh misconfiguration or mismatched participation."""
+
+
+def sum_i32(a: bytes, b: bytes) -> bytes:
+    """Elementwise wrapping int32 sum — the default reduction."""
+    va = np.frombuffer(a, dtype="<u4")
+    vb = np.frombuffer(b, dtype="<u4")
+    if va.shape != vb.shape:
+        raise CollectiveError("reduction operands differ in length")
+    return (va + vb).astype("<u4").tobytes()
+
+
+@dataclass
+class _Member:
+    rank: int
+    stack: RdmaStack
+    #: QP this member uses to *send to* each peer rank.
+    qp_to: Dict[int, int]
+
+
+class CollectiveGroup:
+    """A communicator over N RDMA stacks with a full QP mesh.
+
+    Construction wires ``n*(n-1)`` queue pairs (one direction each) and
+    binds their local memory to simple scratch buffers, so collectives
+    are self-contained; integrating with the shell's MMU instead only
+    requires passing bound stacks.
+    """
+
+    def __init__(self, env: Environment, stacks: List[RdmaStack], qpn_base: int = 0x100):
+        if len(stacks) < 2:
+            raise CollectiveError("a collective group needs at least 2 members")
+        self.env = env
+        self.size = len(stacks)
+        self.members: List[_Member] = []
+        # Create the mesh: member i's QP towards j is qpn_base + i*n + j.
+        for i, stack in enumerate(stacks):
+            qp_to = {}
+            for j in range(self.size):
+                if i == j:
+                    continue
+                qpn = qpn_base + i * self.size + j
+                stack.create_qp(qpn, psn=qpn)
+                qp_to[j] = qpn
+            self.members.append(_Member(rank=i, stack=stack, qp_to=qp_to))
+        for i, member in enumerate(self.members):
+            for j, qpn in member.qp_to.items():
+                peer = self.members[j]
+                peer_qpn = peer.qp_to[i]
+                member.stack.qps[qpn].connect(peer.stack.qps[peer_qpn].local)
+
+    def _member(self, rank: int) -> _Member:
+        if not 0 <= rank < self.size:
+            raise CollectiveError(f"rank {rank} outside group of {self.size}")
+        return self.members[rank]
+
+    # ------------------------------------------------------------ broadcast
+
+    def broadcast(self, root: int, payload: Optional[bytes], rank: int) -> Generator:
+        """Binomial-tree broadcast; every rank calls this, root passes data.
+
+        Returns the payload at every rank.
+        """
+        member = self._member(rank)
+        relative = (rank - root) % self.size
+        # Receive from parent unless we are the root.
+        if relative != 0:
+            parent_rel = relative - (1 << (relative.bit_length() - 1))
+            parent = (parent_rel + root) % self.size
+            parent_member = self._member(parent)
+            payload = yield self.env.process(
+                _recv_via_send(parent_member, rank, self)
+            )
+        if payload is None:
+            raise CollectiveError(f"rank {rank}: no payload to forward")
+        # Forward to children: relative + 2^k for growing k.
+        bit = 1 << relative.bit_length() if relative else 1
+        while relative + bit < self.size:
+            child = (relative + bit + root) % self.size
+            yield self.env.process(_send_bytes(member, child, payload, self))
+            bit <<= 1
+        return payload
+
+    # ------------------------------------------------------------ allreduce
+
+    def allreduce(
+        self,
+        payload: bytes,
+        rank: int,
+        reduce_fn: Callable[[bytes, bytes], bytes] = sum_i32,
+    ) -> Generator:
+        """Ring allreduce; every rank calls this with its contribution."""
+        n = self.size
+        if len(payload) % (4 * n):
+            raise CollectiveError(
+                f"payload must divide into {n} int32-aligned chunks"
+            )
+        member = self._member(rank)
+        chunk = len(payload) // n
+        chunks = [bytearray(payload[i * chunk : (i + 1) * chunk]) for i in range(n)]
+        right = (rank + 1) % n
+        left = (rank - 1) % n
+        left_member = self._member(left)
+        # Phase 1: reduce-scatter.  Step s: send chunk (rank - s), reduce
+        # incoming chunk (rank - s - 1).
+        for step in range(n - 1):
+            send_idx = (rank - step) % n
+            recv_idx = (rank - step - 1) % n
+            send_proc = self.env.process(
+                _send_bytes(member, right, bytes(chunks[send_idx]), self)
+            )
+            incoming = yield self.env.process(_recv_via_send(left_member, rank, self))
+            chunks[recv_idx] = bytearray(reduce_fn(bytes(chunks[recv_idx]), incoming))
+            yield send_proc
+        # Phase 2: allgather.  Step s: send chunk (rank + 1 - s), receive
+        # chunk (rank - s).
+        for step in range(n - 1):
+            send_idx = (rank + 1 - step) % n
+            recv_idx = (rank - step) % n
+            send_proc = self.env.process(
+                _send_bytes(member, right, bytes(chunks[send_idx]), self)
+            )
+            incoming = yield self.env.process(_recv_via_send(left_member, rank, self))
+            chunks[recv_idx] = bytearray(incoming)
+            yield send_proc
+        return b"".join(bytes(c) for c in chunks)
+
+
+def _send_bytes(member: _Member, to_rank: int, payload: bytes, group: CollectiveGroup) -> Generator:
+    qpn = member.qp_to[to_rank]
+    yield from member.stack.send(qpn, payload)
+
+
+def _recv_via_send(from_member: _Member, my_rank: int, group: CollectiveGroup) -> Generator:
+    """Receive the next SEND that ``from_member`` directed at ``my_rank``."""
+    me = group._member(my_rank)
+    qpn = me.qp_to[from_member.rank]  # our QP facing them receives their sends
+    payload = yield from me.stack.recv(qpn)
+    return payload

@@ -1,0 +1,97 @@
+"""Byte-exact PCAP (libpcap) file writer/reader.
+
+The traffic-sniffer service (paper §8) syncs its HBM capture buffer to the
+host, where "a software parser converts the raw packet recordings to a
+default PCAP file for analysis with standard networking tools, such as
+Wireshark".  This module implements that parser's output format: the
+classic libpcap container (magic 0xa1b2c3d4, version 2.4, LINKTYPE_ETHERNET)
+with microsecond timestamps.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Iterable, List, Tuple
+
+__all__ = ["PcapWriter", "read_pcap", "PCAP_MAGIC", "LINKTYPE_ETHERNET"]
+
+PCAP_MAGIC = 0xA1B2C3D4
+PCAP_VERSION = (2, 4)
+LINKTYPE_ETHERNET = 1
+_GLOBAL_HEADER = struct.Struct("<IHHiIII")
+_RECORD_HEADER = struct.Struct("<IIII")
+
+
+@dataclass(frozen=True)
+class PcapRecord:
+    """One captured frame: timestamp (ns, simulated) and raw bytes."""
+
+    timestamp_ns: float
+    data: bytes
+
+
+class PcapWriter:
+    """Accumulates records and serialises a complete PCAP byte stream."""
+
+    def __init__(self, snaplen: int = 65535):
+        self.snaplen = snaplen
+        self.records: List[PcapRecord] = []
+
+    def add(self, timestamp_ns: float, frame: bytes) -> None:
+        self.records.append(PcapRecord(timestamp_ns, frame))
+
+    def to_bytes(self) -> bytes:
+        out = [
+            _GLOBAL_HEADER.pack(
+                PCAP_MAGIC,
+                PCAP_VERSION[0],
+                PCAP_VERSION[1],
+                0,  # thiszone
+                0,  # sigfigs
+                self.snaplen,
+                LINKTYPE_ETHERNET,
+            )
+        ]
+        for record in self.records:
+            total_us, rem_ns = divmod(int(record.timestamp_ns), 1000)
+            ts_sec, ts_usec = divmod(total_us, 1_000_000)
+            captured = record.data[: self.snaplen]
+            out.append(
+                _RECORD_HEADER.pack(ts_sec, ts_usec, len(captured), len(record.data))
+            )
+            out.append(captured)
+        return b"".join(out)
+
+    def write(self, path: str) -> None:
+        with open(path, "wb") as handle:
+            handle.write(self.to_bytes())
+
+
+def read_pcap(data: bytes) -> Tuple[dict, List[PcapRecord]]:
+    """Parse a PCAP byte stream; returns (global header fields, records)."""
+    if len(data) < _GLOBAL_HEADER.size:
+        raise ValueError("truncated PCAP global header")
+    magic, major, minor, zone, sigfigs, snaplen, linktype = _GLOBAL_HEADER.unpack_from(data)
+    if magic != PCAP_MAGIC:
+        raise ValueError(f"bad PCAP magic {magic:#x}")
+    header = {
+        "version": (major, minor),
+        "snaplen": snaplen,
+        "linktype": linktype,
+        "thiszone": zone,
+        "sigfigs": sigfigs,
+    }
+    records = []
+    offset = _GLOBAL_HEADER.size
+    while offset < len(data):
+        if offset + _RECORD_HEADER.size > len(data):
+            raise ValueError("truncated PCAP record header")
+        ts_sec, ts_usec, incl_len, _orig_len = _RECORD_HEADER.unpack_from(data, offset)
+        offset += _RECORD_HEADER.size
+        if offset + incl_len > len(data):
+            raise ValueError("truncated PCAP record body")
+        frame = data[offset : offset + incl_len]
+        offset += incl_len
+        records.append(PcapRecord((ts_sec * 1_000_000 + ts_usec) * 1000.0, frame))
+    return header, records

@@ -1,0 +1,78 @@
+"""RDMA queue pairs.
+
+Mirrors Coyote v2's software surface where a cThread exchanges QP numbers
+and buffer descriptors out-of-band, then issues one-sided verbs.  The QP
+tracks the reliable-connection state: send PSN, acknowledged PSN, expected
+receive PSN and the message sequence number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+from .headers import MacAddress
+
+__all__ = ["QpState", "QpEndpoint", "QueuePair", "PSN_MOD"]
+
+#: PSNs are 24-bit counters.
+PSN_MOD = 1 << 24
+
+
+class QpState(Enum):
+    RESET = "reset"
+    INIT = "init"
+    RTR = "ready-to-receive"
+    RTS = "ready-to-send"
+    ERROR = "error"
+
+
+@dataclass(frozen=True)
+class QpEndpoint:
+    """One side of a connection: where it lives and its initial PSN."""
+
+    mac: MacAddress
+    ip: int
+    qpn: int
+    psn: int = 0
+    rkey: int = 0
+    buffer_vaddr: int = 0
+    buffer_len: int = 0
+
+
+@dataclass
+class QueuePair:
+    """Reliable-connection QP state machine (data only; logic in RdmaStack)."""
+
+    local: QpEndpoint
+    remote: Optional[QpEndpoint] = None
+    state: QpState = QpState.INIT
+    sq_psn: int = 0  # next PSN to assign on send
+    acked_psn: int = -1  # highest PSN acknowledged by the peer
+    epsn: int = 0  # next PSN expected from the peer
+    msn: int = 0  # messages completed at the responder
+
+    def __post_init__(self) -> None:
+        self.sq_psn = self.local.psn
+
+    def connect(self, remote: QpEndpoint) -> None:
+        """Out-of-band connection setup (the paper exchanges this via TCP)."""
+        if self.state not in (QpState.INIT, QpState.RESET):
+            raise RuntimeError(f"cannot connect QP in state {self.state}")
+        self.remote = remote
+        self.epsn = remote.psn
+        self.state = QpState.RTS
+
+    @property
+    def connected(self) -> bool:
+        return self.state is QpState.RTS and self.remote is not None
+
+    def next_psn(self) -> int:
+        psn = self.sq_psn
+        self.sq_psn = (self.sq_psn + 1) % PSN_MOD
+        return psn
+
+    def outstanding(self) -> int:
+        """Number of sent-but-unacked packets (modulo arithmetic)."""
+        return (self.sq_psn - (self.acked_psn + 1)) % PSN_MOD

@@ -1,0 +1,659 @@
+"""BALBOA: the RoCE v2 reliable-connection RDMA stack (paper §6.2).
+
+Implements the requester and responder halves of IB RC verbs over the
+simulated 100G CMAC: one-sided RDMA WRITE and READ plus two-sided SEND,
+with go-back-N retransmission, NAK generation on PSN sequence errors and
+cumulative ACKs.  Local buffer addresses are *virtual*: the stack calls
+into the shell-injected translate/read/write callbacks, which route
+through Coyote's MMU and the static layer — exactly the paper's layering
+("the network stack ... operates on virtual memory addresses that are
+translated using Coyote v2's internal MMU and TLB, before writing the data
+to host memory through the static layer").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Generator, List, Optional, Tuple
+
+from ..sim.engine import Environment, Event
+from ..sim.resources import Container, Store
+from .cmac import Cmac
+from .headers import AethHeader, BthHeader, MacAddress, RethHeader, RoceOpcode
+from .packet import RocePacket
+from .qp import PSN_MOD, QpEndpoint, QpState, QueuePair
+
+__all__ = ["RdmaConfig", "RdmaStack", "Completion", "RdmaError"]
+
+
+class RdmaError(Exception):
+    """Unrecoverable QP error (e.g. verbs on an unconnected QP)."""
+
+
+def psn_leq(a: int, b: int) -> bool:
+    """True if PSN ``a`` <= ``b`` under 24-bit wraparound."""
+    return (b - a) % PSN_MOD < PSN_MOD // 2
+
+
+@dataclass(frozen=True)
+class RdmaConfig:
+    """Stack parameters; MTU 4096 is the RoCE maximum and Coyote's default."""
+
+    mtu: int = 4096
+    max_outstanding: int = 64  # requester window, in packets
+    retransmit_timeout_ns: float = 100_000.0
+    per_packet_processing_ns: float = 30.0  # stack pipeline occupancy
+    max_retries: int = 8
+
+
+@dataclass
+class Completion:
+    """A work completion delivered to the CQ."""
+
+    wr_id: int
+    opcode: str
+    length: int
+    status: str = "success"
+
+
+@dataclass
+class _PendingMessage:
+    last_psn: int
+    event: Event
+    wr_id: int
+    opcode: str
+    length: int
+
+
+@dataclass
+class _ResponderMsg:
+    """Responder-side progress of an in-flight inbound WRITE."""
+
+    vaddr: int = 0
+    remaining: int = 0
+
+
+class RdmaStack:
+    """One node's RoCE v2 engine bound to a CMAC port."""
+
+    def __init__(
+        self,
+        env: Environment,
+        cmac: Cmac,
+        mac: MacAddress,
+        ip: int,
+        config: RdmaConfig = RdmaConfig(),
+        name: str = "rdma",
+        rx_queue=None,
+    ):
+        self.env = env
+        self.cmac = cmac
+        #: Packet source: the raw CMAC queue, or a demuxed per-protocol
+        #: queue when the shell runs several networking services at once.
+        self._rx_queue = rx_queue if rx_queue is not None else cmac.rx_queue
+        self.mac = mac
+        self.ip = ip
+        self.config = config
+        self.name = name
+        self.qps: Dict[int, QueuePair] = {}
+        self.cq: Store = Store(env)
+        # Shell-injected local memory access (virtual addresses).
+        # Both are generator functions running in simulated time.
+        self.read_local: Optional[Callable[[int, int], Generator]] = None
+        self.write_local: Optional[Callable[[int, Optional[bytes], int], Generator]] = None
+        # Per-QP overrides: each QP belongs to a cThread whose vFPGA MMU
+        # must translate its addresses; the shell binds these per QP.
+        self.qp_memory: Dict[int, Tuple[Callable, Callable]] = {}
+        # Optional on-datapath offload per QP (paper: data routed through
+        # the vFPGAs, enabling custom processing like SmartNICs/DPUs).
+        self.rx_offloads: Dict[int, Callable[[bytes], bytes]] = {}
+        # Requester state.
+        self._window = Container(env, capacity=config.max_outstanding, init=config.max_outstanding)
+        self._retransmit: Dict[int, Dict[int, RocePacket]] = {}  # qpn -> psn -> pkt
+        self._pending: Dict[int, List[_PendingMessage]] = {}
+        self._last_progress = env.now
+        self._read_collect: Dict[int, dict] = {}  # qpn -> in-flight READ state
+        self._atomic_pending: Dict[int, Dict[int, Event]] = {}  # qpn -> psn -> event
+        self._recv_queues: Dict[int, Store] = {}
+        self._responder_msg: Dict[int, _ResponderMsg] = {}
+        self._nak_sent: Dict[int, bool] = {}
+        self.stats = {
+            "tx_packets": 0,
+            "rx_packets": 0,
+            "retransmissions": 0,
+            "naks_sent": 0,
+            "naks_received": 0,
+            "acks_sent": 0,
+        }
+        env.process(self._rx_loop(), name=f"{name}-rx")
+        env.process(self._retransmit_timer(), name=f"{name}-timer")
+
+    # ------------------------------------------------------------ plumbing
+
+    def bind_memory(
+        self,
+        read_local: Callable[[int, int], Generator],
+        write_local: Callable[[int, Optional[bytes], int], Generator],
+    ) -> None:
+        self.read_local = read_local
+        self.write_local = write_local
+
+    def bind_qp_memory(
+        self,
+        qpn: int,
+        read_local: Callable[[int, int], Generator],
+        write_local: Callable[[int, Optional[bytes], int], Generator],
+    ) -> None:
+        """Route this QP's local accesses through a specific MMU context."""
+        self.qp_memory[qpn] = (read_local, write_local)
+
+    def _mem_read(self, qpn: int) -> Callable[[int, int], Generator]:
+        bound = self.qp_memory.get(qpn)
+        fn = bound[0] if bound else self.read_local
+        if fn is None:
+            raise RdmaError("stack has no local memory binding")
+        return fn
+
+    def _mem_write(self, qpn: int) -> Callable[[int, Optional[bytes], int], Generator]:
+        bound = self.qp_memory.get(qpn)
+        fn = bound[1] if bound else self.write_local
+        if fn is None:
+            raise RdmaError("stack has no local memory binding")
+        return fn
+
+    def create_qp(self, qpn: int, psn: int = 0, buffer_vaddr: int = 0, buffer_len: int = 0) -> QueuePair:
+        if qpn in self.qps:
+            raise RdmaError(f"QP {qpn} already exists")
+        endpoint = QpEndpoint(
+            mac=self.mac, ip=self.ip, qpn=qpn, psn=psn,
+            buffer_vaddr=buffer_vaddr, buffer_len=buffer_len,
+        )
+        qp = QueuePair(local=endpoint)
+        self.qps[qpn] = qp
+        self._retransmit[qpn] = {}
+        self._pending[qpn] = []
+        self._recv_queues[qpn] = Store(self.env)
+        self._responder_msg[qpn] = _ResponderMsg()
+        self._nak_sent[qpn] = False
+        return qp
+
+    def _qp(self, qpn: int) -> QueuePair:
+        qp = self.qps.get(qpn)
+        if qp is None:
+            raise RdmaError(f"no such QP {qpn}")
+        if not qp.connected:
+            raise RdmaError(f"QP {qpn} not connected")
+        return qp
+
+    def _segments(self, length: int) -> List[int]:
+        mtu = self.config.mtu
+        if length == 0:
+            return [0]
+        return [min(mtu, length - off) for off in range(0, length, mtu)]
+
+    def _send_packet(self, packet: RocePacket) -> Generator:
+        yield self.env.timeout(self.config.per_packet_processing_ns)
+        yield from self.cmac.tx(packet)
+        self.stats["tx_packets"] += 1
+
+    # ----------------------------------------------------------- requester
+
+    def rdma_write(
+        self,
+        qpn: int,
+        local_vaddr: int,
+        remote_vaddr: int,
+        length: int,
+        wr_id: int = 0,
+    ) -> Generator:
+        """One-sided RDMA WRITE; returns once the peer acked the last packet."""
+        qp = self._qp(qpn)
+        read_fn = self._mem_read(qpn)
+        segments = self._segments(length)
+        done = Event(self.env)
+        # Prefetch pipeline: local-memory reads overlap wire serialisation,
+        # as in the hardware datapath where the DMA engine runs ahead of
+        # the MAC.  Depth 4 keeps at most 16 KB of staged data.
+        staged: Store = Store(self.env, capacity=4)
+
+        def _fetcher():
+            position = 0
+            for seg in segments:
+                data = yield self.env.process(read_fn(local_vaddr + position, seg))
+                yield staged.put(data)
+                position += seg
+
+        self.env.process(_fetcher(), name=f"{self.name}-wr-fetch")
+        offset = 0
+        for index, seg_len in enumerate(segments):
+            first = index == 0
+            last = index == len(segments) - 1
+            if first and last:
+                opcode = RoceOpcode.RDMA_WRITE_ONLY
+            elif first:
+                opcode = RoceOpcode.RDMA_WRITE_FIRST
+            elif last:
+                opcode = RoceOpcode.RDMA_WRITE_LAST
+            else:
+                opcode = RoceOpcode.RDMA_WRITE_MIDDLE
+            yield self._window.get(1)
+            payload = yield staged.get()
+            psn = qp.next_psn()
+            packet = RocePacket.build(
+                src_mac=self.mac,
+                dst_mac=qp.remote.mac,
+                src_ip=self.ip,
+                dst_ip=qp.remote.ip,
+                # Request an ack on every packet so the window drains
+                # continuously; real responders coalesce these replies.
+                bth=BthHeader(opcode=opcode, dest_qp=qp.remote.qpn, psn=psn, ack_request=True),
+                reth=RethHeader(vaddr=remote_vaddr, rkey=qp.remote.rkey, dma_length=length)
+                if RoceOpcode.has_reth(opcode)
+                else None,
+                payload=payload if isinstance(payload, (bytes, bytearray)) else None,
+                payload_length=seg_len,
+            )
+            self._retransmit[qpn][psn] = packet
+            if last:
+                self._pending[qpn].append(
+                    _PendingMessage(last_psn=psn, event=done, wr_id=wr_id, opcode="WRITE", length=length)
+                )
+            yield from self._send_packet(packet)
+            offset += seg_len
+        yield done
+        completion = Completion(wr_id=wr_id, opcode="WRITE", length=length)
+        self.cq.put(completion)
+        return completion
+
+    def rdma_read(
+        self,
+        qpn: int,
+        local_vaddr: int,
+        remote_vaddr: int,
+        length: int,
+        wr_id: int = 0,
+    ) -> Generator:
+        """One-sided RDMA READ; returns once the full response arrived."""
+        qp = self._qp(qpn)
+        nresp = len(self._segments(length))
+        start_psn = qp.sq_psn
+        # A READ request consumes one PSN per response packet, and one
+        # window credit for the request (released when responses ack it).
+        yield self._window.get(1)
+        for _ in range(nresp):
+            qp.next_psn()
+        done = Event(self.env)
+        self._read_collect[qpn] = {
+            "event": done,
+            "local_vaddr": local_vaddr,
+            "received": 0,
+            "length": length,
+            "request": None,  # filled below for retransmission
+        }
+        packet = RocePacket.build(
+            src_mac=self.mac,
+            dst_mac=qp.remote.mac,
+            src_ip=self.ip,
+            dst_ip=qp.remote.ip,
+            bth=BthHeader(
+                opcode=RoceOpcode.RDMA_READ_REQUEST,
+                dest_qp=qp.remote.qpn,
+                psn=start_psn,
+                ack_request=True,
+            ),
+            reth=RethHeader(vaddr=remote_vaddr, rkey=qp.remote.rkey, dma_length=length),
+        )
+        self._read_collect[qpn]["request"] = packet
+        self._retransmit[qpn][start_psn] = packet
+        yield from self._send_packet(packet)
+        yield done
+        completion = Completion(wr_id=wr_id, opcode="READ", length=length)
+        self.cq.put(completion)
+        return completion
+
+    def fetch_add(self, qpn: int, remote_vaddr: int, addend: int, wr_id: int = 0) -> Generator:
+        """Atomic 64-bit FETCH_ADD at the peer; returns the original value."""
+        result = yield from self._atomic(
+            qpn, RoceOpcode.FETCH_ADD, remote_vaddr, swap_add=addend, wr_id=wr_id
+        )
+        return result
+
+    def compare_swap(
+        self, qpn: int, remote_vaddr: int, compare: int, swap: int, wr_id: int = 0
+    ) -> Generator:
+        """Atomic 64-bit CMP_SWAP at the peer; returns the original value
+        (the swap happened iff original == compare)."""
+        result = yield from self._atomic(
+            qpn, RoceOpcode.COMPARE_SWAP, remote_vaddr,
+            swap_add=swap, compare=compare, wr_id=wr_id,
+        )
+        return result
+
+    def _atomic(
+        self, qpn: int, opcode: int, remote_vaddr: int,
+        swap_add: int, compare: int = 0, wr_id: int = 0,
+    ) -> Generator:
+        from .headers import AtomicEthHeader
+
+        qp = self._qp(qpn)
+        yield self._window.get(1)
+        psn = qp.next_psn()
+        done = Event(self.env)
+        self._atomic_pending.setdefault(qpn, {})[psn] = done
+        packet = RocePacket.build(
+            src_mac=self.mac,
+            dst_mac=qp.remote.mac,
+            src_ip=self.ip,
+            dst_ip=qp.remote.ip,
+            bth=BthHeader(opcode=opcode, dest_qp=qp.remote.qpn, psn=psn, ack_request=True),
+            atomic_eth=AtomicEthHeader(
+                vaddr=remote_vaddr, rkey=qp.remote.rkey,
+                swap_add=swap_add & 0xFFFFFFFFFFFFFFFF,
+                compare=compare & 0xFFFFFFFFFFFFFFFF,
+            ),
+        )
+        self._retransmit[qpn][psn] = packet
+        yield from self._send_packet(packet)
+        original = yield done
+        self.cq.put(Completion(wr_id=wr_id, opcode=RoceOpcode.name(opcode), length=8))
+        return original
+
+    def send(self, qpn: int, payload: bytes, wr_id: int = 0) -> Generator:
+        """Two-sided SEND of a single message."""
+        qp = self._qp(qpn)
+        segments = self._segments(len(payload))
+        done = Event(self.env)
+        offset = 0
+        for index, seg_len in enumerate(segments):
+            first = index == 0
+            last = index == len(segments) - 1
+            if first and last:
+                opcode = RoceOpcode.SEND_ONLY
+            elif first:
+                opcode = RoceOpcode.SEND_FIRST
+            elif last:
+                opcode = RoceOpcode.SEND_LAST
+            else:
+                opcode = RoceOpcode.SEND_MIDDLE
+            yield self._window.get(1)
+            psn = qp.next_psn()
+            packet = RocePacket.build(
+                src_mac=self.mac,
+                dst_mac=qp.remote.mac,
+                src_ip=self.ip,
+                dst_ip=qp.remote.ip,
+                bth=BthHeader(opcode=opcode, dest_qp=qp.remote.qpn, psn=psn, ack_request=True),
+                payload=payload[offset : offset + seg_len],
+            )
+            self._retransmit[qpn][psn] = packet
+            if last:
+                self._pending[qpn].append(
+                    _PendingMessage(last_psn=psn, event=done, wr_id=wr_id, opcode="SEND", length=len(payload))
+                )
+            yield from self._send_packet(packet)
+            offset += seg_len
+        yield done
+        completion = Completion(wr_id=wr_id, opcode="SEND", length=len(payload))
+        self.cq.put(completion)
+        return completion
+
+    def recv(self, qpn: int) -> Generator:
+        """Blocking receive of one SEND message."""
+        message = yield self._recv_queues[qpn].get()
+        return message
+
+    # ------------------------------------------------------------ receiver
+
+    def _rx_loop(self) -> Generator:
+        while True:
+            packet = yield self._rx_queue.get()
+            if not isinstance(packet, RocePacket):
+                continue  # another protocol on the shared fabric
+            self.stats["rx_packets"] += 1
+            yield self.env.timeout(self.config.per_packet_processing_ns)
+            qpn = packet.bth.dest_qp
+            qp = self.qps.get(qpn)
+            if qp is None or qp.remote is None:
+                continue  # drop traffic for unknown QPs
+            opcode = packet.bth.opcode
+            if opcode == RoceOpcode.ACKNOWLEDGE:
+                self._handle_ack(qpn, qp, packet)
+            elif opcode == RoceOpcode.ATOMIC_ACKNOWLEDGE:
+                self._handle_atomic_ack(qpn, qp, packet)
+            elif RoceOpcode.RDMA_READ_RESPONSE_FIRST <= opcode <= RoceOpcode.RDMA_READ_RESPONSE_ONLY:
+                yield from self._handle_read_response(qpn, qp, packet)
+            elif opcode == RoceOpcode.RDMA_READ_REQUEST:
+                yield from self._handle_read_request(qpn, qp, packet)
+            elif RoceOpcode.has_atomic_eth(opcode):
+                yield from self._handle_atomic_request(qpn, qp, packet)
+            else:
+                yield from self._handle_inbound_data(qpn, qp, packet)
+
+    def _ack(self, qp: QueuePair, psn: int, syndrome: int = 0) -> Generator:
+        packet = RocePacket.build(
+            src_mac=self.mac,
+            dst_mac=qp.remote.mac,
+            src_ip=self.ip,
+            dst_ip=qp.remote.ip,
+            bth=BthHeader(opcode=RoceOpcode.ACKNOWLEDGE, dest_qp=qp.remote.qpn, psn=psn),
+            aeth=AethHeader(syndrome=syndrome, msn=qp.msn),
+        )
+        if syndrome:
+            self.stats["naks_sent"] += 1
+        else:
+            self.stats["acks_sent"] += 1
+        yield from self._send_packet(packet)
+
+    def _handle_inbound_data(self, qpn: int, qp: QueuePair, packet: RocePacket) -> Generator:
+        """WRITE_* and SEND_* packets at the responder."""
+        psn = packet.bth.psn
+        if psn != qp.epsn:
+            if psn_leq(psn, (qp.epsn - 1) % PSN_MOD):
+                # Duplicate from a go-back-N rewind: re-ack, drop.
+                yield from self._ack(qp, (qp.epsn - 1) % PSN_MOD)
+            elif not self._nak_sent[qpn]:
+                # Sequence gap: NAK once with the expected PSN.
+                self._nak_sent[qpn] = True
+                yield from self._ack(qp, qp.epsn, syndrome=AethHeader.NAK_PSN_SEQUENCE_ERROR)
+            return
+        self._nak_sent[qpn] = False
+        qp.epsn = (qp.epsn + 1) % PSN_MOD
+        opcode = packet.bth.opcode
+        payload = packet.payload
+        offload = self.rx_offloads.get(qpn)
+        if offload is not None and payload is not None:
+            payload = offload(payload)
+        state = self._responder_msg[qpn]
+        if opcode in (RoceOpcode.RDMA_WRITE_FIRST, RoceOpcode.RDMA_WRITE_ONLY):
+            state.vaddr = packet.reth.vaddr
+            state.remaining = packet.reth.dma_length
+        if opcode in (
+            RoceOpcode.RDMA_WRITE_FIRST,
+            RoceOpcode.RDMA_WRITE_MIDDLE,
+            RoceOpcode.RDMA_WRITE_LAST,
+            RoceOpcode.RDMA_WRITE_ONLY,
+        ):
+            yield self.env.process(
+                self._mem_write(qpn)(state.vaddr, payload, packet.payload_length)
+            )
+            state.vaddr += packet.payload_length
+            state.remaining -= packet.payload_length
+            if opcode in (RoceOpcode.RDMA_WRITE_LAST, RoceOpcode.RDMA_WRITE_ONLY):
+                qp.msn = (qp.msn + 1) % PSN_MOD
+        else:  # SEND family
+            buf = self._recv_queues[qpn]
+            key = "_send_parts"
+            parts = getattr(buf, key, [])
+            parts.append(payload or bytes(packet.payload_length))
+            setattr(buf, key, parts)
+            if opcode in (RoceOpcode.SEND_LAST, RoceOpcode.SEND_ONLY):
+                qp.msn = (qp.msn + 1) % PSN_MOD
+                buf.put(b"".join(parts))
+                setattr(buf, key, [])
+        if packet.bth.ack_request:
+            yield from self._ack(qp, psn)
+
+    def _handle_atomic_request(self, qpn: int, qp: QueuePair, packet: RocePacket) -> Generator:
+        """Responder side of FETCH_ADD / CMP_SWAP: read-modify-write the
+        8-byte target atomically (the rx loop serialises us) and return
+        the original value in an ATOMIC_ACKNOWLEDGE."""
+        from .headers import AtomicAckEthHeader
+
+        psn = packet.bth.psn
+        if psn != qp.epsn:
+            if not self._nak_sent[qpn]:
+                self._nak_sent[qpn] = True
+                yield from self._ack(qp, qp.epsn, syndrome=AethHeader.NAK_PSN_SEQUENCE_ERROR)
+            return
+        self._nak_sent[qpn] = False
+        qp.epsn = (qp.epsn + 1) % PSN_MOD
+        qp.msn = (qp.msn + 1) % PSN_MOD
+        ath = packet.atomic_eth
+        raw = yield self.env.process(self._mem_read(qpn)(ath.vaddr, 8))
+        original = int.from_bytes(raw, "little") if raw is not None else 0
+        if packet.bth.opcode == RoceOpcode.FETCH_ADD:
+            updated = (original + ath.swap_add) & 0xFFFFFFFFFFFFFFFF
+        else:  # COMPARE_SWAP
+            updated = ath.swap_add if original == ath.compare else original
+        yield self.env.process(
+            self._mem_write(qpn)(ath.vaddr, updated.to_bytes(8, "little"), 8)
+        )
+        response = RocePacket.build(
+            src_mac=self.mac,
+            dst_mac=qp.remote.mac,
+            src_ip=self.ip,
+            dst_ip=qp.remote.ip,
+            bth=BthHeader(opcode=RoceOpcode.ATOMIC_ACKNOWLEDGE, dest_qp=qp.remote.qpn, psn=psn),
+            aeth=AethHeader(syndrome=0, msn=qp.msn),
+            atomic_ack=AtomicAckEthHeader(original=original),
+        )
+        yield from self._send_packet(response)
+
+    def _handle_atomic_ack(self, qpn: int, qp: QueuePair, packet: RocePacket) -> None:
+        """Requester side: the response both acks the PSN and carries the
+        original value back to the waiting verb."""
+        self._progress_ack(qpn, qp, packet.bth.psn)
+        waiter = self._atomic_pending.get(qpn, {}).pop(packet.bth.psn, None)
+        if waiter is not None and not waiter.triggered:
+            waiter.succeed(packet.atomic_ack.original)
+
+    def _handle_read_request(self, qpn: int, qp: QueuePair, packet: RocePacket) -> Generator:
+        psn = packet.bth.psn
+        if psn != qp.epsn:
+            if not self._nak_sent[qpn]:
+                self._nak_sent[qpn] = True
+                yield from self._ack(qp, qp.epsn, syndrome=AethHeader.NAK_PSN_SEQUENCE_ERROR)
+            return
+        self._nak_sent[qpn] = False
+        read_fn = self._mem_read(qpn)
+        length = packet.reth.dma_length
+        vaddr = packet.reth.vaddr
+        segments = self._segments(length)
+        qp.epsn = (qp.epsn + len(segments)) % PSN_MOD
+        qp.msn = (qp.msn + 1) % PSN_MOD
+        offset = 0
+        for index, seg_len in enumerate(segments):
+            first = index == 0
+            last = index == len(segments) - 1
+            if first and last:
+                opcode = RoceOpcode.RDMA_READ_RESPONSE_ONLY
+            elif first:
+                opcode = RoceOpcode.RDMA_READ_RESPONSE_FIRST
+            elif last:
+                opcode = RoceOpcode.RDMA_READ_RESPONSE_LAST
+            else:
+                opcode = RoceOpcode.RDMA_READ_RESPONSE_MIDDLE
+            payload = yield self.env.process(read_fn(vaddr + offset, seg_len))
+            response = RocePacket.build(
+                src_mac=self.mac,
+                dst_mac=qp.remote.mac,
+                src_ip=self.ip,
+                dst_ip=qp.remote.ip,
+                bth=BthHeader(
+                    opcode=opcode,
+                    dest_qp=qp.remote.qpn,
+                    psn=(psn + index) % PSN_MOD,
+                ),
+                aeth=AethHeader(syndrome=0, msn=qp.msn) if RoceOpcode.has_aeth(opcode) else None,
+                payload=payload if isinstance(payload, (bytes, bytearray)) else None,
+                payload_length=seg_len,
+            )
+            yield from self._send_packet(response)
+            offset += seg_len
+
+    def _handle_read_response(self, qpn: int, qp: QueuePair, packet: RocePacket) -> Generator:
+        state = self._read_collect.get(qpn)
+        if state is None:
+            return
+        # Responses double as acks for the consumed PSNs.
+        self._progress_ack(qpn, qp, packet.bth.psn)
+        yield self.env.process(
+            self._mem_write(qpn)(
+                state["local_vaddr"] + state["received"],
+                packet.payload,
+                packet.payload_length,
+            )
+        )
+        state["received"] += packet.payload_length
+        if state["received"] >= state["length"]:
+            del self._read_collect[qpn]
+            state["event"].succeed()
+
+    # ----------------------------------------------------- ack processing
+
+    def _progress_ack(self, qpn: int, qp: QueuePair, psn: int) -> None:
+        """Cumulative acknowledgement of every PSN <= psn."""
+        self._last_progress = self.env.now
+        buffered = self._retransmit[qpn]
+        released = [p for p in buffered if psn_leq(p, psn)]
+        for p in released:
+            del buffered[p]
+        if released:
+            self._window.put(len(released))
+        if psn_leq(qp.acked_psn % PSN_MOD, psn):
+            qp.acked_psn = psn
+        pending = self._pending[qpn]
+        finished = [m for m in pending if psn_leq(m.last_psn, psn)]
+        self._pending[qpn] = [m for m in pending if not psn_leq(m.last_psn, psn)]
+        for msg in finished:
+            msg.event.succeed()
+
+    def _handle_ack(self, qpn: int, qp: QueuePair, packet: RocePacket) -> None:
+        aeth = packet.aeth
+        if aeth is not None and aeth.is_nak:
+            self.stats["naks_received"] += 1
+            # Go-back-N: retransmit everything from the NAK'ed PSN.
+            self.env.process(self._go_back_n(qpn, packet.bth.psn))
+            return
+        self._progress_ack(qpn, qp, packet.bth.psn)
+
+    def _go_back_n(self, qpn: int, from_psn: int) -> Generator:
+        buffered = self._retransmit[qpn]
+        ordered = sorted(
+            (p for p in buffered if psn_leq(from_psn, p)),
+            key=lambda p: (p - from_psn) % PSN_MOD,
+        )
+        for psn in ordered:
+            packet = buffered.get(psn)
+            if packet is None:
+                continue  # acked while we were retransmitting earlier PSNs
+            self.stats["retransmissions"] += 1
+            yield from self._send_packet(packet)
+        self._last_progress = self.env.now
+
+    def _retransmit_timer(self) -> Generator:
+        timeout = self.config.retransmit_timeout_ns
+        while True:
+            yield self.env.timeout(timeout)
+            outstanding = any(self._retransmit[q] for q in self._retransmit)
+            if not outstanding:
+                continue
+            if self.env.now - self._last_progress < timeout:
+                continue
+            for qpn, buffered in self._retransmit.items():
+                if not buffered:
+                    continue
+                oldest = min(
+                    buffered, key=lambda p: (p - self.qps[qpn].acked_psn) % PSN_MOD
+                )
+                yield self.env.process(self._go_back_n(qpn, oldest))

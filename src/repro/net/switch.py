@@ -1,0 +1,61 @@
+"""A cut-through data-center switch connecting simulated 100G ports.
+
+The paper's RDMA stack runs "over a switched network ... compatible with
+commodity hardware"; experiments here connect two or more simulated FPGA
+nodes (and, for tests, software peers) through this fabric.  Supports a
+drop hook for fault injection, which the retransmission tests use.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from ..sim.engine import Environment
+from .cmac import Cmac
+from .headers import MacAddress
+from .packet import RocePacket
+
+__all__ = ["Switch"]
+
+#: Typical ToR cut-through forwarding latency.
+SWITCH_LATENCY_NS = 600.0
+
+
+class Switch:
+    """MAC-learning-free static switch: ports are registered explicitly."""
+
+    def __init__(self, env: Environment, latency_ns: float = SWITCH_LATENCY_NS):
+        self.env = env
+        self.latency_ns = latency_ns
+        self._ports: Dict[MacAddress, Cmac] = {}
+        #: Optional fault injector: return True to drop the frame.
+        self.drop_fn: Optional[Callable[[RocePacket], bool]] = None
+        self.forwarded = 0
+        self.dropped = 0
+        self.unroutable = 0
+
+    def attach(self, mac: MacAddress, cmac: Cmac) -> None:
+        if mac in self._ports:
+            raise ValueError(f"port {mac!r} already attached")
+        self._ports[mac] = cmac
+        cmac.attach_wire(lambda pkt: self._ingress(pkt))
+
+    def detach(self, mac: MacAddress) -> None:
+        """Unplug a port (a shell reconfiguration swapping its CMAC)."""
+        if self._ports.pop(mac, None) is None:
+            raise ValueError(f"port {mac!r} is not attached")
+
+    def _ingress(self, packet: RocePacket) -> None:
+        if self.drop_fn is not None and self.drop_fn(packet):
+            self.dropped += 1
+            return
+        port = self._ports.get(packet.eth.dst)
+        if port is None:
+            self.unroutable += 1
+            return
+        self.forwarded += 1
+        self.env.process(self._forward(port, packet))
+
+    def _forward(self, port: Cmac, packet: RocePacket):
+        yield self.env.timeout(self.latency_ns)
+        port.deliver(packet)

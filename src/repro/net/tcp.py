@@ -1,0 +1,471 @@
+"""TCP/IP offload stack: the shell's alternative networking service.
+
+Requirement 1 (paper §2.2) names "switching from TCP/IP to RDMA" as the
+canonical service reconfiguration, and BALBOA's upstream repository ships
+both stacks.  This module implements a functional TCP engine over the same
+CMAC/switch fabric as the RoCE stack: three-way handshake, MSS
+segmentation, cumulative ACKs, go-back-N retransmission, receive-window
+flow control and FIN teardown — with byte-accurate header serialisation.
+
+It is intentionally a hardware-offload-style TCP (like the 100G HLS stack
+Coyote integrates): single-segment options, no SACK, no congestion window
+(data centers run it under DCQCN/PFC anyway); flow control is the
+advertised receive window.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Generator, Optional, Tuple
+
+from ..sim.engine import Environment, Event
+from ..sim.resources import Store
+from .cmac import Cmac
+from .headers import ETHERTYPE_IPV4, EthernetHeader, Ipv4Header, MacAddress
+
+__all__ = ["TcpHeader", "TcpPacket", "TcpStack", "TcpConnection", "TcpError", "TcpState"]
+
+IP_PROTO_TCP = 6
+MSS = 1460  # classic Ethernet MSS
+DEFAULT_WINDOW = 64 * 1024
+
+
+class TcpError(Exception):
+    """Protocol misuse or connection failure."""
+
+
+class TcpFlags:
+    FIN = 0x01
+    SYN = 0x02
+    RST = 0x04
+    PSH = 0x08
+    ACK = 0x10
+
+
+@dataclass
+class TcpHeader:
+    """20-byte TCP header (no options)."""
+
+    src_port: int
+    dst_port: int
+    seq: int
+    ack: int
+    flags: int
+    window: int
+    checksum: int = 0
+
+    SIZE = 20
+
+    def pack(self) -> bytes:
+        return struct.pack(
+            "!HHIIBBHHH",
+            self.src_port,
+            self.dst_port,
+            self.seq & 0xFFFFFFFF,
+            self.ack & 0xFFFFFFFF,
+            (5 << 4),  # data offset 5 words
+            self.flags,
+            self.window,
+            self.checksum,
+            0,  # urgent pointer
+        )
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "TcpHeader":
+        if len(data) < cls.SIZE:
+            raise ValueError("truncated TCP header")
+        (src, dst, seq, ack, offset, flags, window, checksum, _urg) = struct.unpack(
+            "!HHIIBBHHH", data[:20]
+        )
+        if offset >> 4 != 5:
+            raise ValueError("TCP options not supported")
+        return cls(src_port=src, dst_port=dst, seq=seq, ack=ack,
+                   flags=flags, window=window, checksum=checksum)
+
+    def has(self, flag: int) -> bool:
+        return bool(self.flags & flag)
+
+
+@dataclass
+class TcpPacket:
+    """A TCP segment on the simulated wire (duck-types RocePacket for the
+    CMAC/switch/sniffer, which only need ``eth``, ``wire_length`` and
+    ``to_bytes``)."""
+
+    eth: EthernetHeader
+    ip: Ipv4Header
+    tcp: TcpHeader
+    payload: bytes = b""
+
+    @property
+    def wire_length(self) -> int:
+        return EthernetHeader.SIZE + Ipv4Header.SIZE + TcpHeader.SIZE + len(self.payload)
+
+    @property
+    def payload_length(self) -> int:
+        return len(self.payload)
+
+    def to_bytes(self) -> bytes:
+        return self.eth.pack() + self.ip.pack() + self.tcp.pack() + self.payload
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "TcpPacket":
+        eth = EthernetHeader.unpack(data)
+        offset = EthernetHeader.SIZE
+        ip = Ipv4Header.unpack(data[offset:])
+        if ip.protocol != IP_PROTO_TCP:
+            raise ValueError("not a TCP packet")
+        offset += Ipv4Header.SIZE
+        tcp = TcpHeader.unpack(data[offset:])
+        offset += TcpHeader.SIZE
+        payload = data[offset : EthernetHeader.SIZE + ip.total_length]
+        return cls(eth=eth, ip=ip, tcp=tcp, payload=bytes(payload))
+
+    def describe(self) -> str:
+        names = []
+        for name, bit in [("SYN", TcpFlags.SYN), ("ACK", TcpFlags.ACK),
+                          ("FIN", TcpFlags.FIN), ("RST", TcpFlags.RST),
+                          ("PSH", TcpFlags.PSH)]:
+            if self.tcp.has(bit):
+                names.append(name)
+        return (
+            f"TCP {self.tcp.src_port}->{self.tcp.dst_port} "
+            f"[{','.join(names) or '.'}] seq={self.tcp.seq} ack={self.tcp.ack} "
+            f"len={len(self.payload)}"
+        )
+
+
+class TcpState(Enum):
+    CLOSED = "closed"
+    LISTEN = "listen"
+    SYN_SENT = "syn-sent"
+    SYN_RECEIVED = "syn-received"
+    ESTABLISHED = "established"
+    FIN_WAIT = "fin-wait"
+    CLOSE_WAIT = "close-wait"
+    CLOSING = "closing"
+
+
+def _seq_lt(a: int, b: int) -> bool:
+    return ((b - a) & 0xFFFFFFFF) < 0x8000_0000 and a != b
+
+
+@dataclass
+class TcpConnection:
+    """One connection's state; byte-stream API via the owning stack."""
+
+    stack: "TcpStack"
+    local_port: int
+    remote_ip: int = 0
+    remote_port: int = 0
+    remote_mac: Optional[MacAddress] = None
+    state: TcpState = TcpState.CLOSED
+    snd_una: int = 0  # oldest unacked seq
+    snd_nxt: int = 0  # next seq to send
+    rcv_nxt: int = 0  # next expected seq
+    peer_window: int = DEFAULT_WINDOW
+    # retransmission buffer: seq -> (payload, flags)
+    _inflight: Dict[int, Tuple[bytes, int]] = field(default_factory=dict)
+    _rx_buffer: bytearray = field(default_factory=bytearray)
+    _rx_waiters: list = field(default_factory=list)
+    _established: Optional[Event] = None
+    _closed: Optional[Event] = None
+    _last_progress: float = 0.0
+    retransmissions: int = 0
+
+    @property
+    def key(self) -> Tuple[int, int, int]:
+        return (self.local_port, self.remote_ip, self.remote_port)
+
+    @property
+    def rcv_window(self) -> int:
+        return max(0, DEFAULT_WINDOW - len(self._rx_buffer))
+
+    # ----------------------------------------------------------- user API
+
+    def send(self, data: bytes) -> Generator:
+        """Reliable byte-stream send; returns when fully acknowledged."""
+        yield from self.stack._send_stream(self, data)
+
+    def recv(self, nbytes: int) -> Generator:
+        """Blocking receive of exactly ``nbytes``."""
+        while len(self._rx_buffer) < nbytes:
+            waiter = Event(self.stack.env)
+            self._rx_waiters.append(waiter)
+            yield waiter
+        out = bytes(self._rx_buffer[:nbytes])
+        del self._rx_buffer[:nbytes]
+        return out
+
+    def close(self) -> Generator:
+        yield from self.stack._close(self)
+
+
+class TcpStack:
+    """One node's TCP engine bound to a CMAC port."""
+
+    def __init__(
+        self,
+        env: Environment,
+        cmac: Cmac,
+        mac: MacAddress,
+        ip: int,
+        rx_queue: Optional[Store] = None,
+        retransmit_timeout_ns: float = 200_000.0,
+        per_packet_processing_ns: float = 50.0,
+        name: str = "tcp",
+    ):
+        self.env = env
+        self.cmac = cmac
+        self.mac = mac
+        self.ip = ip
+        self.name = name
+        self.retransmit_timeout_ns = retransmit_timeout_ns
+        self.per_packet_processing_ns = per_packet_processing_ns
+        self._rx_queue = rx_queue if rx_queue is not None else cmac.rx_queue
+        self._listeners: Dict[int, Store] = {}  # port -> accept queue
+        self._connections: Dict[Tuple[int, int, int], TcpConnection] = {}
+        self._iss = 1000  # deterministic initial sequence numbers
+        self.stats = {"tx": 0, "rx": 0, "retransmissions": 0, "resets": 0}
+        env.process(self._rx_loop(), name=f"{name}-rx")
+        env.process(self._retransmit_timer(), name=f"{name}-timer")
+
+    # ------------------------------------------------------------ user API
+
+    def listen(self, port: int) -> Store:
+        """Open a passive socket; returns the accept queue of connections."""
+        if port in self._listeners:
+            raise TcpError(f"port {port} already listening")
+        queue = Store(self.env)
+        self._listeners[port] = queue
+        return queue
+
+    def accept(self, port: int) -> Generator:
+        queue = self._listeners.get(port)
+        if queue is None:
+            raise TcpError(f"port {port} is not listening")  # eager check
+
+        def _wait() -> Generator:
+            conn = yield queue.get()
+            return conn
+
+        return _wait()
+
+    def connect(
+        self, remote_mac: MacAddress, remote_ip: int, remote_port: int, local_port: int
+    ) -> Generator:
+        """Active open: three-way handshake; returns the connection."""
+        conn = TcpConnection(
+            stack=self,
+            local_port=local_port,
+            remote_ip=remote_ip,
+            remote_port=remote_port,
+            remote_mac=remote_mac,
+        )
+        self._iss += 64_000
+        conn.snd_una = conn.snd_nxt = self._iss
+        conn.state = TcpState.SYN_SENT
+        conn._established = Event(self.env)
+        self._connections[conn.key] = conn
+        yield from self._transmit(conn, flags=TcpFlags.SYN, consume_seq=True)
+        yield conn._established
+        return conn
+
+    # ------------------------------------------------------------ TX side
+
+    def _segment_header(self, conn: TcpConnection, flags: int, seq: int) -> TcpHeader:
+        return TcpHeader(
+            src_port=conn.local_port,
+            dst_port=conn.remote_port,
+            seq=seq,
+            ack=conn.rcv_nxt if flags & TcpFlags.ACK else 0,
+            flags=flags,
+            window=conn.rcv_window,
+        )
+
+    def _build(self, conn: TcpConnection, header: TcpHeader, payload: bytes) -> TcpPacket:
+        ip_header = Ipv4Header(
+            src=self.ip,
+            dst=conn.remote_ip,
+            total_length=Ipv4Header.SIZE + TcpHeader.SIZE + len(payload),
+            protocol=IP_PROTO_TCP,
+        )
+        eth = EthernetHeader(dst=conn.remote_mac, src=self.mac, ethertype=ETHERTYPE_IPV4)
+        return TcpPacket(eth=eth, ip=ip_header, tcp=header, payload=payload)
+
+    def _transmit(
+        self,
+        conn: TcpConnection,
+        flags: int,
+        payload: bytes = b"",
+        consume_seq: bool = False,
+        seq: Optional[int] = None,
+    ) -> Generator:
+        seq = conn.snd_nxt if seq is None else seq
+        header = self._segment_header(conn, flags, seq)
+        packet = self._build(conn, header, payload)
+        if consume_seq:
+            consumed = len(payload) or 1  # SYN/FIN consume one seq number
+            conn._inflight[seq] = (payload, flags)
+            conn.snd_nxt = (seq + consumed) & 0xFFFFFFFF
+        yield self.env.timeout(self.per_packet_processing_ns)
+        yield from self.cmac.tx(packet)
+        self.stats["tx"] += 1
+
+    def _send_stream(self, conn: TcpConnection, data: bytes) -> Generator:
+        if conn.state is not TcpState.ESTABLISHED:
+            raise TcpError(f"send on {conn.state.value} connection")
+        offset = 0
+        while offset < len(data):
+            # Flow control: respect the peer's advertised window.
+            while (conn.snd_nxt - conn.snd_una) & 0xFFFFFFFF >= max(conn.peer_window, MSS):
+                waiter = Event(self.env)
+                conn._rx_waiters.append(waiter)  # woken by any ack progress
+                yield waiter
+            chunk = data[offset : offset + MSS]
+            offset += len(chunk)
+            push = TcpFlags.ACK | (TcpFlags.PSH if offset >= len(data) else 0)
+            yield from self._transmit(conn, flags=push, payload=chunk, consume_seq=True)
+        # Wait until everything is acknowledged.
+        while conn._inflight:
+            waiter = Event(self.env)
+            conn._rx_waiters.append(waiter)
+            yield waiter
+
+    def _close(self, conn: TcpConnection) -> Generator:
+        if conn.state is TcpState.ESTABLISHED:
+            conn.state = TcpState.FIN_WAIT
+        elif conn.state is TcpState.CLOSE_WAIT:
+            conn.state = TcpState.CLOSING
+        conn._closed = Event(self.env)
+        yield from self._transmit(conn, flags=TcpFlags.FIN | TcpFlags.ACK, consume_seq=True)
+        yield conn._closed
+
+    # ------------------------------------------------------------ RX side
+
+    def _wake(self, conn: TcpConnection) -> None:
+        waiters, conn._rx_waiters = conn._rx_waiters, []
+        for waiter in waiters:
+            if not waiter.triggered:
+                waiter.succeed()
+
+    def _rx_loop(self) -> Generator:
+        while True:
+            packet = yield self._rx_queue.get()
+            if not isinstance(packet, TcpPacket):
+                continue  # other protocol (shared fabric)
+            yield self.env.timeout(self.per_packet_processing_ns)
+            self.stats["rx"] += 1
+            yield from self._handle(packet)
+
+    def _handle(self, packet: TcpPacket) -> Generator:
+        header = packet.tcp
+        key = (header.dst_port, packet.ip.src, header.src_port)
+        conn = self._connections.get(key)
+        if conn is None:
+            if header.has(TcpFlags.SYN) and not header.has(TcpFlags.ACK):
+                yield from self._handle_passive_open(packet)
+            else:
+                self.stats["resets"] += 1  # stray segment: would RST
+            return
+        # ACK processing (cumulative).
+        if header.has(TcpFlags.ACK) and conn.state is not TcpState.LISTEN:
+            self._process_ack(conn, header)
+        if header.has(TcpFlags.SYN) and conn.state is TcpState.SYN_SENT:
+            # SYN-ACK of our active open.
+            conn.rcv_nxt = (header.seq + 1) & 0xFFFFFFFF
+            conn.state = TcpState.ESTABLISHED
+            yield from self._transmit(conn, flags=TcpFlags.ACK)
+            if conn._established is not None and not conn._established.triggered:
+                conn._established.succeed()
+            return
+        if conn.state is TcpState.SYN_RECEIVED and header.has(TcpFlags.ACK):
+            conn.state = TcpState.ESTABLISHED
+        # In-order payload delivery.
+        if packet.payload:
+            if header.seq == conn.rcv_nxt:
+                conn.rcv_nxt = (conn.rcv_nxt + len(packet.payload)) & 0xFFFFFFFF
+                conn._rx_buffer += packet.payload
+                self._wake(conn)
+                yield from self._transmit(conn, flags=TcpFlags.ACK)
+            elif _seq_lt(header.seq, conn.rcv_nxt):
+                # Duplicate: re-ack.
+                yield from self._transmit(conn, flags=TcpFlags.ACK)
+            else:
+                # Out of order (go-back-N receiver): ack what we have.
+                yield from self._transmit(conn, flags=TcpFlags.ACK)
+        if header.has(TcpFlags.FIN) and header.seq == conn.rcv_nxt:
+            conn.rcv_nxt = (conn.rcv_nxt + 1) & 0xFFFFFFFF
+            if conn.state is TcpState.ESTABLISHED:
+                conn.state = TcpState.CLOSE_WAIT
+            elif conn.state in (TcpState.FIN_WAIT, TcpState.CLOSING):
+                conn.state = TcpState.CLOSED
+                if conn._closed is not None and not conn._closed.triggered:
+                    conn._closed.succeed()
+            yield from self._transmit(conn, flags=TcpFlags.ACK)
+
+    def _handle_passive_open(self, packet: TcpPacket) -> Generator:
+        header = packet.tcp
+        queue = self._listeners.get(header.dst_port)
+        if queue is None:
+            self.stats["resets"] += 1
+            return
+        conn = TcpConnection(
+            stack=self,
+            local_port=header.dst_port,
+            remote_ip=packet.ip.src,
+            remote_port=header.src_port,
+            remote_mac=packet.eth.src,
+            state=TcpState.SYN_RECEIVED,
+        )
+        self._iss += 64_000
+        conn.snd_una = conn.snd_nxt = self._iss
+        conn.rcv_nxt = (header.seq + 1) & 0xFFFFFFFF
+        conn.peer_window = header.window
+        self._connections[conn.key] = conn
+        yield from self._transmit(conn, flags=TcpFlags.SYN | TcpFlags.ACK, consume_seq=True)
+        yield queue.put(conn)
+
+    def _process_ack(self, conn: TcpConnection, header: TcpHeader) -> None:
+        conn.peer_window = header.window
+        ack = header.ack
+        if not _seq_lt(conn.snd_una, ack) and ack != conn.snd_nxt:
+            return  # old ack
+        progressed = False
+        for seq in sorted(list(conn._inflight), key=lambda s: (s - conn.snd_una) & 0xFFFFFFFF):
+            payload, flags = conn._inflight[seq]
+            end = (seq + (len(payload) or 1)) & 0xFFFFFFFF
+            if _seq_lt(end, ack) or end == ack or _seq_lt(seq, ack):
+                del conn._inflight[seq]
+                progressed = True
+        if _seq_lt(conn.snd_una, ack):
+            conn.snd_una = ack
+            progressed = True
+        if progressed:
+            conn._last_progress = self.env.now
+            self._wake(conn)
+            if conn._closed is not None and not conn._inflight and conn.state is TcpState.CLOSED:
+                if not conn._closed.triggered:
+                    conn._closed.succeed()
+
+    # --------------------------------------------------------- retransmit
+
+    def _retransmit_timer(self) -> Generator:
+        while True:
+            yield self.env.timeout(self.retransmit_timeout_ns)
+            for conn in list(self._connections.values()):
+                if not conn._inflight:
+                    continue
+                if self.env.now - conn._last_progress < self.retransmit_timeout_ns:
+                    continue
+                # Go-back-N: resend everything outstanding, oldest first.
+                for seq in sorted(
+                    list(conn._inflight), key=lambda s: (s - conn.snd_una) & 0xFFFFFFFF
+                ):
+                    payload, flags = conn._inflight[seq]
+                    conn.retransmissions += 1
+                    self.stats["retransmissions"] += 1
+                    yield from self._transmit(conn, flags=flags, payload=payload, seq=seq)
+                conn._last_progress = self.env.now

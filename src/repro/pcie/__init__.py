@@ -1,0 +1,6 @@
+"""PCIe substrate: link bandwidth model and the XDMA bridge."""
+
+from .link import PcieLink, PcieLinkConfig
+from .xdma import MsiVector, Writeback, Xdma, XdmaConfig
+
+__all__ = ["PcieLink", "PcieLinkConfig", "Xdma", "XdmaConfig", "MsiVector", "Writeback"]

@@ -1,0 +1,69 @@
+"""PCIe link bandwidth model.
+
+The evaluated platform attaches the Alveo U55C over PCIe Gen3 x16.  The
+paper reports ~12 GB/s of achievable host-memory bandwidth through the XDMA
+core (§9.4), which is what the multi-tenant AES experiment saturates and
+fairly shares.  The link is full duplex: host-to-card (H2C) and
+card-to-host (C2H) directions are independent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator
+
+from ..sim.engine import Environment
+from ..sim.resources import Resource
+
+__all__ = ["PcieLinkConfig", "PcieLink"]
+
+
+@dataclass(frozen=True)
+class PcieLinkConfig:
+    """Link speeds and per-descriptor overheads."""
+
+    h2c_bandwidth: float = 12.0  # bytes/ns == GB/s (paper §9.4)
+    c2h_bandwidth: float = 12.0
+    descriptor_overhead_ns: float = 350.0  # DMA descriptor fetch + setup
+    mmio_latency_ns: float = 900.0
+
+
+class PcieLink:
+    """Serialises DMA transfers per direction at the configured bandwidth.
+
+    Transfers are admitted FIFO per direction; fairness between tenants is
+    achieved above this layer by the shell's packetizer and round-robin
+    interleaver, which keep individual occupancies to one packet.
+    """
+
+    def __init__(self, env: Environment, config: PcieLinkConfig = PcieLinkConfig()):
+        self.env = env
+        self.config = config
+        self._h2c = Resource(env, capacity=1)
+        self._c2h = Resource(env, capacity=1)
+        self.h2c_bytes = 0
+        self.c2h_bytes = 0
+
+    def _occupy(self, direction: Resource, duration_ns: float) -> Generator:
+        grant = direction.request()
+        yield grant
+        try:
+            yield self.env.timeout(duration_ns)
+        finally:
+            direction.release(grant)
+
+    def h2c(self, nbytes: int, overhead: bool = True) -> Generator:
+        """Move ``nbytes`` from host memory to the card."""
+        duration = nbytes / self.config.h2c_bandwidth
+        if overhead:
+            duration += self.config.descriptor_overhead_ns
+        yield from self._occupy(self._h2c, duration)
+        self.h2c_bytes += nbytes
+
+    def c2h(self, nbytes: int, overhead: bool = True) -> Generator:
+        """Move ``nbytes`` from the card to host memory."""
+        duration = nbytes / self.config.c2h_bandwidth
+        if overhead:
+            duration += self.config.descriptor_overhead_ns
+        yield from self._occupy(self._c2h, duration)
+        self.c2h_bytes += nbytes

@@ -1,0 +1,38 @@
+"""Discrete-event simulation substrate for the Coyote v2 reproduction."""
+
+from .clock import FABRIC_CLOCK, HBM_CLOCK, PCIE_CLOCK, Clock
+from .engine import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Timeout,
+)
+from .resources import Container, Resource, Store
+from .tracing import LatencyStats, ThroughputMeter, TraceRecord, Tracer, mean_std
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+    "SimulationError",
+    "Resource",
+    "Store",
+    "Container",
+    "Clock",
+    "FABRIC_CLOCK",
+    "HBM_CLOCK",
+    "PCIE_CLOCK",
+    "Tracer",
+    "TraceRecord",
+    "ThroughputMeter",
+    "LatencyStats",
+    "mean_std",
+]

@@ -1,0 +1,347 @@
+"""Deterministic discrete-event simulation engine.
+
+This is the substrate every hardware model in the reproduction runs on.  It
+follows the classic generator-based design (as popularised by SimPy, which is
+not available offline): simulated entities are Python generators that yield
+:class:`Event` objects to suspend themselves, and an :class:`Environment`
+advances a priority queue of scheduled events.
+
+Simulated time is a float in **nanoseconds**.  All hardware models in
+``repro`` agree on this unit; see :mod:`repro.sim.clock` for cycle helpers.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+    "SimulationError",
+]
+
+
+class SimulationError(Exception):
+    """Raised for misuse of the simulation engine."""
+
+
+class Interrupt(Exception):
+    """Raised inside a process that another process interrupted.
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`Process.interrupt`.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+# Priorities ensure deterministic ordering of simultaneous events.
+URGENT = 0
+NORMAL = 1
+
+
+class Event:
+    """A condition that may happen at some point in simulated time.
+
+    Events start *pending*; once :meth:`succeed` or :meth:`fail` is called
+    they become *triggered* and are scheduled for processing, after which all
+    registered callbacks run and the event is *processed*.
+    """
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._ok: Optional[bool] = None
+        self._scheduled = False
+        #: Set when the only waiter was interrupted away; resources skip
+        #: abandoned waiters rather than handing them items/grants.
+        self._abandoned = False
+
+    @property
+    def triggered(self) -> bool:
+        return self._ok is not None
+
+    @property
+    def processed(self) -> bool:
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        if self._ok is None:
+            raise SimulationError("event not yet triggered")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._ok is None:
+            raise SimulationError("event not yet triggered")
+        return self._value
+
+    def succeed(self, value: Any = None, priority: int = NORMAL) -> "Event":
+        if self._ok is not None:
+            raise SimulationError("event already triggered")
+        self._ok = True
+        self._value = value
+        self.env._schedule(self, delay=0.0, priority=priority)
+        return self
+
+    def fail(self, exception: BaseException, priority: int = NORMAL) -> "Event":
+        if self._ok is not None:
+            raise SimulationError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError("fail() needs an exception instance")
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self, delay=0.0, priority=priority)
+        return self
+
+    # Generator protocol so a bare event can be awaited from process code
+    # via ``value = yield event``.
+
+
+class Timeout(Event):
+    """An event that triggers after a fixed delay."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        super().__init__(env)
+        self._ok = True
+        self._value = value
+        self.delay = delay
+        env._schedule(self, delay=delay, priority=NORMAL)
+
+
+class Process(Event):
+    """Wraps a generator; the process event triggers when it returns.
+
+    The generator yields :class:`Event` instances.  When a yielded event is
+    processed the generator is resumed with the event's value (or the event's
+    exception is thrown into it).
+    """
+
+    def __init__(self, env: "Environment", generator: Generator, name: str = ""):
+        super().__init__(env)
+        if not hasattr(generator, "send"):
+            raise SimulationError("Process() needs a generator")
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._target: Optional[Event] = None
+        # Kick off on the next event-loop iteration.
+        init = Event(env)
+        init._ok = True
+        init.callbacks.append(self._resume)
+        env._schedule(init, delay=0.0, priority=URGENT)
+
+    @property
+    def is_alive(self) -> bool:
+        return self._ok is None
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if not self.is_alive:
+            return
+        event = Event(self.env)
+        event._ok = False
+        event._value = Interrupt(cause)
+        event._defused = True
+        event.callbacks.append(self._resume)
+        self.env._schedule(event, delay=0.0, priority=URGENT)
+
+    def _resume(self, event: Event) -> None:
+        if not self.is_alive:
+            return
+        # Detach from the event we were waiting for (interrupt case) and
+        # mark it abandoned so queue-like resources (Store, Resource,
+        # Container) skip it instead of delivering into a dead process.
+        if self._target is not None and self._target is not event:
+            if self._target.callbacks is not None:
+                try:
+                    self._target.callbacks.remove(self._resume)
+                except ValueError:
+                    pass
+                if not self._target.callbacks:
+                    self._target._abandoned = True
+        self._target = None
+        try:
+            if event._ok:
+                target = self._generator.send(event._value)
+            else:
+                event._defused = True
+                target = self._generator.throw(event._value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            self.fail(exc)
+            return
+        if not isinstance(target, Event):
+            self._generator.throw(
+                SimulationError(f"process yielded non-event {target!r}")
+            )
+            return
+        if target.env is not self.env:
+            raise SimulationError("event belongs to a different environment")
+        self._target = target
+        if target.callbacks is None:
+            # Already processed: resume immediately (next loop iteration).
+            relay = Event(self.env)
+            relay._ok = target._ok
+            relay._value = target._value
+            relay.callbacks.append(self._resume)
+            self.env._schedule(relay, delay=0.0, priority=URGENT)
+        else:
+            target.callbacks.append(self._resume)
+
+
+class _Condition(Event):
+    """Base for AllOf / AnyOf composite events."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self._events = list(events)
+        self._done = 0
+        if not self._events:
+            self.succeed({})
+            return
+        for event in self._events:
+            if event.callbacks is None:
+                self._check(event)
+            else:
+                event.callbacks.append(self._check)
+
+    def _collect(self):
+        # Only include events whose callbacks have run (Timeout presets
+        # ``_ok`` at creation, before its scheduled time arrives).
+        return {
+            i: e._value
+            for i, e in enumerate(self._events)
+            if e.callbacks is None and e._ok
+        }
+
+    def _check(self, event: Event) -> None:
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Triggers once every child event has triggered successfully."""
+
+    def _check(self, event: Event) -> None:
+        if self._ok is not None:
+            return
+        if event._ok is False:
+            self.fail(event._value)
+            return
+        self._done += 1
+        if self._done == len(self._events):
+            self.succeed(self._collect())
+
+
+class AnyOf(_Condition):
+    """Triggers as soon as any child event triggers successfully."""
+
+    def _check(self, event: Event) -> None:
+        if self._ok is not None:
+            return
+        if event._ok is False:
+            self.fail(event._value)
+            return
+        self.succeed(self._collect())
+
+
+class Environment:
+    """The event loop: a priority queue over (time, priority, seq)."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self.now = float(initial_time)
+        self._queue: List = []
+        self._seq = itertools.count()
+        self._active = True
+
+    # -- scheduling ------------------------------------------------------
+
+    def _schedule(self, event: Event, delay: float, priority: int) -> None:
+        if event._scheduled:
+            return
+        event._scheduled = True
+        heapq.heappush(
+            self._queue, (self.now + delay, priority, next(self._seq), event)
+        )
+
+    # -- public factory helpers -----------------------------------------
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- execution -------------------------------------------------------
+
+    def step(self) -> None:
+        """Process the next scheduled event."""
+        if not self._queue:
+            raise SimulationError("no more events")
+        when, _prio, _seq, event = heapq.heappop(self._queue)
+        self.now = when
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+        if event._ok is False and not getattr(event, "_defused", False):
+            # An unhandled failure propagates out of the simulation.
+            raise event._value
+
+    def run(self, until: Optional[Any] = None) -> Any:
+        """Run until the given time, event, or queue exhaustion.
+
+        ``until`` may be ``None`` (drain all events), a number (absolute
+        simulated time), or an :class:`Event` (run until it is processed and
+        return its value).
+        """
+        if until is None:
+            while self._queue:
+                self.step()
+            return None
+        if isinstance(until, Event):
+            sentinel = until
+            while sentinel.callbacks is not None:
+                if not self._queue:
+                    raise SimulationError(
+                        "simulation ran out of events before the awaited "
+                        f"event triggered ({sentinel!r}); likely deadlock"
+                    )
+                self.step()
+            if sentinel._ok is False:
+                raise sentinel._value
+            return sentinel._value
+        horizon = float(until)
+        if horizon < self.now:
+            raise SimulationError("cannot run into the past")
+        while self._queue and self._queue[0][0] <= horizon:
+            self.step()
+        self.now = horizon
+        return None
+
+    @property
+    def peek(self) -> float:
+        """Time of the next scheduled event, or +inf if none."""
+        return self._queue[0][0] if self._queue else float("inf")

@@ -1,0 +1,122 @@
+"""Lightweight event tracing and throughput/latency statistics.
+
+Every shell component can emit trace records; benchmarks aggregate them
+into the series the paper's figures plot.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+__all__ = ["TraceRecord", "Tracer", "ThroughputMeter", "LatencyStats", "mean_std"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced occurrence: (time, source component, event kind, payload)."""
+
+    time: float
+    source: str
+    kind: str
+    payload: Any = None
+
+
+class Tracer:
+    """Collects trace records; filterable by source/kind."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.records: List[TraceRecord] = []
+
+    def emit(self, time: float, source: str, kind: str, payload: Any = None) -> None:
+        if self.enabled:
+            self.records.append(TraceRecord(time, source, kind, payload))
+
+    def filter(self, source: Optional[str] = None, kind: Optional[str] = None) -> List[TraceRecord]:
+        out = self.records
+        if source is not None:
+            out = [r for r in out if r.source == source]
+        if kind is not None:
+            out = [r for r in out if r.kind == kind]
+        return list(out)
+
+    def clear(self) -> None:
+        self.records.clear()
+
+
+@dataclass
+class ThroughputMeter:
+    """Accumulates (bytes, start, end) to report achieved bandwidth."""
+
+    name: str = ""
+    total_bytes: int = 0
+    first_time: Optional[float] = None
+    last_time: Optional[float] = None
+
+    def record(self, nbytes: int, start: float, end: float) -> None:
+        self.total_bytes += nbytes
+        self.first_time = start if self.first_time is None else min(self.first_time, start)
+        self.last_time = end if self.last_time is None else max(self.last_time, end)
+
+    @property
+    def elapsed_ns(self) -> float:
+        if self.first_time is None or self.last_time is None:
+            return 0.0
+        return self.last_time - self.first_time
+
+    @property
+    def gbps(self) -> float:
+        """Achieved throughput in gigabytes per second (== bytes/ns)."""
+        elapsed = self.elapsed_ns
+        return self.total_bytes / elapsed if elapsed > 0 else 0.0
+
+    @property
+    def mbps(self) -> float:
+        return self.gbps * 1000.0
+
+
+@dataclass
+class LatencyStats:
+    """Streaming latency statistics (ns)."""
+
+    name: str = ""
+    samples: List[float] = field(default_factory=list)
+
+    def record(self, latency_ns: float) -> None:
+        self.samples.append(latency_ns)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.samples) / len(self.samples) if self.samples else 0.0
+
+    @property
+    def std(self) -> float:
+        if len(self.samples) < 2:
+            return 0.0
+        mu = self.mean
+        return math.sqrt(sum((s - mu) ** 2 for s in self.samples) / (len(self.samples) - 1))
+
+    def percentile(self, p: float) -> float:
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        idx = min(len(ordered) - 1, max(0, int(round(p / 100.0 * (len(ordered) - 1)))))
+        return ordered[idx]
+
+
+def mean_std(values: Iterable[float]) -> Tuple[float, float]:
+    """Sample mean and standard deviation of an iterable of floats."""
+    data = list(values)
+    if not data:
+        return 0.0, 0.0
+    mu = sum(data) / len(data)
+    if len(data) < 2:
+        return mu, 0.0
+    var = sum((v - mu) ** 2 for v in data) / (len(data) - 1)
+    return mu, math.sqrt(var)

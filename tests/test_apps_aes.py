@@ -1,0 +1,115 @@
+"""Tests for the AES-128 cipher and its hardware kernels."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import (
+    aes_cbc_decrypt,
+    aes_cbc_encrypt,
+    aes_decrypt_block,
+    aes_ecb_encrypt,
+    aes_encrypt_block,
+    aes_expand_key,
+)
+
+# FIPS-197 Appendix C.1 vector.
+FIPS_KEY = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+FIPS_PLAIN = bytes.fromhex("00112233445566778899aabbccddeeff")
+FIPS_CIPHER = bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")
+
+# NIST SP 800-38A F.1.1 / F.2.1 vectors.
+NIST_KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+NIST_IV = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+NIST_PLAIN = bytes.fromhex(
+    "6bc1bee22e409f96e93d7e117393172a"
+    "ae2d8a571e03ac9c9eb76fac45af8e51"
+    "30c81c46a35ce411e5fbc1191a0a52ef"
+    "f69f2445df4f9b17ad2b417be66c3710"
+)
+NIST_ECB_CIPHER = bytes.fromhex(
+    "3ad77bb40d7a3660a89ecaf32466ef97"
+    "f5d3d58503b9699de785895a96fdbaaf"
+    "43b1cd7f598ece23881b00e3ed030688"
+    "7b0c785e27e8ad3f8223207104725dd4"
+)
+NIST_CBC_CIPHER = bytes.fromhex(
+    "7649abac8119b246cee98e9b12e9197d"
+    "5086cb9b507219ee95db113a917678b2"
+    "73bed6b8e3c1743b7116e69e22229516"
+    "3ff1caa1681fac09120eca307586e1a7"
+)
+
+
+def test_key_expansion_shape():
+    round_keys = aes_expand_key(FIPS_KEY)
+    assert len(round_keys) == 11
+    assert all(len(rk) == 16 for rk in round_keys)
+    assert round_keys[0] == FIPS_KEY
+
+
+def test_key_expansion_rejects_bad_length():
+    with pytest.raises(ValueError):
+        aes_expand_key(b"short")
+
+
+def test_fips197_block_vector():
+    round_keys = aes_expand_key(FIPS_KEY)
+    assert aes_encrypt_block(FIPS_PLAIN, round_keys) == FIPS_CIPHER
+
+
+def test_fips197_decrypt_vector():
+    round_keys = aes_expand_key(FIPS_KEY)
+    assert aes_decrypt_block(FIPS_CIPHER, round_keys) == FIPS_PLAIN
+
+
+def test_nist_ecb_vector():
+    assert aes_ecb_encrypt(NIST_PLAIN, NIST_KEY) == NIST_ECB_CIPHER
+
+
+def test_nist_cbc_vector():
+    assert aes_cbc_encrypt(NIST_PLAIN, NIST_KEY, NIST_IV) == NIST_CBC_CIPHER
+
+
+def test_cbc_decrypt_inverts():
+    assert aes_cbc_decrypt(NIST_CBC_CIPHER, NIST_KEY, NIST_IV) == NIST_PLAIN
+
+
+def test_block_size_validation():
+    round_keys = aes_expand_key(FIPS_KEY)
+    with pytest.raises(ValueError):
+        aes_encrypt_block(b"tiny", round_keys)
+    with pytest.raises(ValueError):
+        aes_ecb_encrypt(b"not a multiple of sixteen!", FIPS_KEY)
+    with pytest.raises(ValueError):
+        aes_cbc_encrypt(bytes(16), FIPS_KEY, b"shortiv")
+
+
+def test_cbc_chains_blocks():
+    """Identical plaintext blocks must yield different ciphertext in CBC."""
+    plain = bytes(16) * 4
+    cipher = aes_cbc_encrypt(plain, NIST_KEY, NIST_IV)
+    blocks = {cipher[i : i + 16] for i in range(0, 64, 16)}
+    assert len(blocks) == 4
+    # ...but identical blocks in ECB mode are identical (the ECB weakness).
+    ecb = aes_ecb_encrypt(plain, NIST_KEY)
+    assert len({ecb[i : i + 16] for i in range(0, 64, 16)}) == 1
+
+
+@settings(max_examples=25, deadline=None)
+@given(key=st.binary(min_size=16, max_size=16), block=st.binary(min_size=16, max_size=16))
+def test_encrypt_decrypt_roundtrip_property(key, block):
+    round_keys = aes_expand_key(key)
+    assert aes_decrypt_block(aes_encrypt_block(block, round_keys), round_keys) == block
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    key=st.binary(min_size=16, max_size=16),
+    iv=st.binary(min_size=16, max_size=16),
+    nblocks=st.integers(min_value=1, max_value=8),
+    data=st.data(),
+)
+def test_cbc_roundtrip_property(key, iv, nblocks, data):
+    plain = data.draw(st.binary(min_size=16 * nblocks, max_size=16 * nblocks))
+    assert aes_cbc_decrypt(aes_cbc_encrypt(plain, key, iv), key, iv) == plain

@@ -1,0 +1,92 @@
+"""Tests for the HyperLogLog sketch."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import HyperLogLog, murmur64
+
+
+def test_murmur64_is_deterministic_and_spread():
+    a = murmur64(1)
+    b = murmur64(2)
+    assert a == murmur64(1)
+    assert a != b
+    # Avalanche sanity: adjacent inputs differ in many bits.
+    assert bin(a ^ b).count("1") > 16
+
+
+def test_precision_validation():
+    with pytest.raises(ValueError):
+        HyperLogLog(precision=3)
+    with pytest.raises(ValueError):
+        HyperLogLog(precision=19)
+
+
+def test_empty_sketch_estimates_zero():
+    assert HyperLogLog(precision=10).estimate() == pytest.approx(0.0, abs=1.0)
+
+
+def test_small_cardinality_exact_via_linear_counting():
+    sketch = HyperLogLog(precision=12)
+    for value in range(100):
+        sketch.add(value)
+    assert sketch.estimate() == pytest.approx(100, rel=0.05)
+
+
+def test_estimate_within_standard_error():
+    sketch = HyperLogLog(precision=14)
+    true_count = 200_000
+    for value in range(true_count):
+        sketch.add(value)
+    estimate = sketch.estimate()
+    tolerance = 4 * sketch.standard_error * true_count
+    assert abs(estimate - true_count) < tolerance
+
+
+def test_duplicates_do_not_inflate():
+    sketch = HyperLogLog(precision=12)
+    for _ in range(50):
+        for value in range(500):
+            sketch.add(value)
+    assert sketch.estimate() == pytest.approx(500, rel=0.1)
+
+
+def test_merge_equals_union():
+    a = HyperLogLog(precision=12)
+    b = HyperLogLog(precision=12)
+    union = HyperLogLog(precision=12)
+    for value in range(0, 2000):
+        a.add(value)
+        union.add(value)
+    for value in range(1000, 3000):
+        b.add(value)
+        union.add(value)
+    a.merge(b)
+    assert a.estimate() == pytest.approx(union.estimate(), rel=1e-9)
+
+
+def test_merge_requires_same_precision():
+    with pytest.raises(ValueError):
+        HyperLogLog(precision=10).merge(HyperLogLog(precision=12))
+
+
+def test_standard_error_formula():
+    assert HyperLogLog(precision=14).standard_error == pytest.approx(
+        1.04 / math.sqrt(1 << 14)
+    )
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_estimate_monotone_in_data_property(seed):
+    """Adding more distinct values never decreases the raw register state."""
+    rng = random.Random(seed)
+    sketch = HyperLogLog(precision=10)
+    previous = sketch.registers.copy()
+    for _ in range(200):
+        sketch.add(rng.getrandbits(60))
+    assert (sketch.registers >= previous).all()

@@ -1,0 +1,54 @@
+"""Tests for the vector-op and NN kernels (functional units)."""
+
+import numpy as np
+import pytest
+
+from repro.apps import VectorOpApp, vector_add, vector_mul
+from repro.apps.nn import NnApp
+from repro.core import StreamType
+from repro.ml import convert_model, intrusion_detection_model
+
+
+def test_vector_add_reference():
+    a = np.array([1, 2, 3], dtype="<u4").tobytes()
+    b = np.array([10, 20, 30], dtype="<u4").tobytes()
+    out = np.frombuffer(vector_add(a, b), dtype="<u4")
+    assert out.tolist() == [11, 22, 33]
+
+
+def test_vector_add_wraps_modulo_32():
+    a = np.array([0xFFFFFFFF], dtype="<u4").tobytes()
+    b = np.array([2], dtype="<u4").tobytes()
+    assert np.frombuffer(vector_add(a, b), dtype="<u4")[0] == 1
+
+
+def test_vector_mul_reference():
+    a = np.array([3, 5], dtype="<u4").tobytes()
+    b = np.array([7, 11], dtype="<u4").tobytes()
+    assert np.frombuffer(vector_mul(a, b), dtype="<u4").tolist() == [21, 55]
+
+
+def test_vector_op_rejects_unaligned():
+    with pytest.raises(ValueError):
+        vector_add(b"\x00" * 3, b"\x00" * 3)
+
+
+def test_vector_app_validation():
+    with pytest.raises(ValueError):
+        VectorOpApp(op="divide")
+    app = VectorOpApp(op="mul", stream=StreamType.HOST)
+    assert app.name == "vmul"
+    assert "memory" not in app.required_services
+
+
+def test_vector_app_card_requires_memory():
+    app = VectorOpApp(op="add", stream=StreamType.CARD)
+    assert "memory" in app.required_services
+
+
+def test_nn_app_metadata():
+    ip = convert_model(intrusion_detection_model()).build()
+    app = NnApp(ip)
+    assert app.name == "nn_inference"
+    assert app.required_services == frozenset({"host"})
+    assert app.samples_inferred == 0

@@ -1,0 +1,127 @@
+"""Tests for the baselines: Coyote v1, AmorphOS path, feature matrix."""
+
+import pytest
+
+from repro import CThread, Driver, Environment, LocalSg, Oper, ServiceConfig, SgEntry
+from repro.apps import PassThroughApp
+from repro.baselines import (
+    FEATURE_MATRIX,
+    CopyThroughCardPath,
+    CoyoteV1Shell,
+    DirectHostStreamPath,
+    Support,
+    coyote_v2_row,
+)
+from repro.core import MoverConfig
+from repro.mem import HbmConfig, HbmController
+from repro.pcie import Xdma, XdmaConfig
+from repro.synth import BuildFlow
+
+
+# --------------------------------------------------------------- Coyote v1
+
+def test_v1_has_single_streams():
+    env = Environment()
+    shell = CoyoteV1Shell(env)
+    vfpga = shell.vfpgas[0]
+    assert len(vfpga.host_in) == 1
+    assert len(vfpga.card_in) == 1
+    assert len(vfpga.net_in) == 1
+
+
+def test_v1_runs_the_same_kernels():
+    env = Environment()
+    shell = CoyoteV1Shell(
+        env, services=ServiceConfig(en_memory=False, mover=MoverConfig(carry_data=True))
+    )
+    driver = Driver(env, shell)
+    shell.load_app(0, PassThroughApp())
+    ct = CThread(driver, 0, pid=1)
+
+    def main():
+        src = yield from ct.get_mem(4096)
+        dst = yield from ct.get_mem(4096)
+        ct.write_buffer(src.vaddr, b"v1 datapath" + bytes(4085))
+        sg = SgEntry(local=LocalSg(src_addr=src.vaddr, src_len=4096,
+                                   dst_addr=dst.vaddr, dst_len=4096))
+        yield from ct.invoke(Oper.LOCAL_TRANSFER, sg)
+        return ct.read_buffer(dst.vaddr, 11)
+
+    assert env.run(env.process(main())) == b"v1 datapath"
+
+
+def test_v1_service_reconfig_needs_full_reflash():
+    """v1 swapping services = Vivado full flow: tens of seconds offline."""
+    env = Environment()
+    shell = CoyoteV1Shell(env, services=ServiceConfig(en_memory=False))
+    new_services = ServiceConfig(en_memory=True)
+
+    def main():
+        start = env.now
+        yield env.process(shell.reconfigure_shell(None, new_services))
+        return env.now - start
+
+    elapsed_ns = env.run(env.process(main()))
+    assert elapsed_ns > 30e9  # tens of seconds, vs v2's sub-second
+    assert shell.config.services.en_memory
+
+
+def test_v1_resource_footprint_below_v2():
+    """Figure 11: v2's richer shell costs slightly more logic."""
+    env = Environment()
+    v1 = CoyoteV1Shell(env, services=ServiceConfig(en_memory=False))
+    v1_luts = v1.shell_resources(["hll"]).luts
+    flow = BuildFlow("u55c")
+    v2_luts = flow.shell_flow(ServiceConfig(en_memory=False), ["hll"]).resources.luts
+    assert v1_luts < v2_luts
+    assert v2_luts / v1_luts < 1.35  # "slightly" higher
+
+
+# ----------------------------------------------------------- AmorphOS path
+
+def test_copy_through_card_slower_than_direct_stream():
+    env = Environment()
+    xdma = Xdma(env, XdmaConfig(host_memory_bytes=1 << 20))
+    hbm = HbmController(env, HbmConfig(num_channels=4, channel_bytes=1 << 22))
+    staged = CopyThroughCardPath(env, xdma, hbm)
+    direct = DirectHostStreamPath(env, xdma)
+
+    def measure(path):
+        def proc():
+            latency = yield from path.deliver(1 << 20)
+            return latency
+
+        return Environment.run(env, env.process(proc()))
+
+    staged_ns = measure(staged)
+    direct_ns = measure(direct)
+    assert staged_ns > 1.5 * direct_ns  # the "non-negligible latency penalty"
+
+
+# ------------------------------------------------------------ feature data
+
+def test_matrix_has_fifteen_shells():
+    assert len(FEATURE_MATRIX) == 15
+
+
+def test_commercial_group_precedes_research():
+    kinds = [s.commercial for s in FEATURE_MATRIX]
+    # All commercial entries come before all research entries.
+    assert kinds == sorted(kinds, reverse=True)
+
+
+def test_v1_to_v2_delta():
+    """The improvements the paper claims over Coyote v1."""
+    v1 = next(s for s in FEATURE_MATRIX if s.name == "Coyote")
+    v2 = coyote_v2_row()
+    assert v1.multi_threading is Support.NO and v2.multi_threading is Support.YES
+    assert v1.service_reconfig is Support.NO and v2.service_reconfig is Support.YES
+    assert v1.interrupts is Support.NO and v2.interrupts is Support.YES
+    assert "multiple" in v2.app_interface and "single" in v1.app_interface
+
+
+def test_support_symbols():
+    assert Support.YES.symbol == "Y"
+    assert Support.PARTIAL.symbol == "~"
+    assert Support.NO.symbol == "-"
+    assert Support.NA.symbol == "n/a"

@@ -1,0 +1,153 @@
+"""Tests for crediting and round-robin arbitration."""
+
+import pytest
+
+from repro.core import Crediter, RoundRobinArbiter
+from repro.sim import Environment
+
+
+# ------------------------------------------------------------------ credits
+
+def test_crediter_blocks_at_zero():
+    env = Environment()
+    crediter = Crediter(env, credits=2)
+    log = []
+
+    def consumer():
+        for i in range(3):
+            yield from crediter.acquire()
+            log.append((i, env.now))
+
+    def releaser():
+        yield env.timeout(50)
+        crediter.release()
+
+    env.process(consumer())
+    env.process(releaser())
+    env.run()
+    assert log[0][1] == 0
+    assert log[1][1] == 0
+    assert log[2][1] == 50  # third acquire waited for the release
+    assert crediter.stalls == 1
+
+
+def test_crediter_accounting():
+    env = Environment()
+    crediter = Crediter(env, credits=4)
+
+    def proc():
+        yield from crediter.acquire()
+        yield from crediter.acquire()
+
+    env.process(proc())
+    env.run()
+    assert crediter.available == 2
+    assert crediter.in_flight == 2
+    assert crediter.acquired_total == 2
+
+
+def test_crediter_invalid_count():
+    with pytest.raises(ValueError):
+        Crediter(Environment(), credits=0)
+
+
+# ------------------------------------------------------------------ arbiter
+
+def test_round_robin_fair_interleaving():
+    env = Environment()
+    arb = RoundRobinArbiter(env, port_depth=8)
+    ports = [arb.add_port() for _ in range(3)]
+    order = []
+
+    def producer(port, tag):
+        for i in range(3):
+            yield from port.put((tag, i))
+
+    def consumer():
+        for _ in range(9):
+            item = yield from arb.get()
+            order.append(item[0])
+
+    for tag, port in enumerate(ports):
+        env.process(producer(port, tag))
+    done = env.process(consumer())
+    env.run(done)
+    # Strict round-robin across the three busy ports.
+    assert order == [0, 1, 2, 0, 1, 2, 0, 1, 2]
+
+
+def test_arbiter_skips_idle_ports():
+    env = Environment()
+    arb = RoundRobinArbiter(env)
+    busy = arb.add_port()
+    _idle = arb.add_port()
+    got = []
+
+    def producer():
+        yield from busy.put("x")
+        yield from busy.put("y")
+
+    def consumer():
+        for _ in range(2):
+            item = yield from arb.get()
+            got.append(item)
+
+    env.process(producer())
+    done = env.process(consumer())
+    env.run(done)
+    assert got == ["x", "y"]
+
+
+def test_arbiter_port_depth_backpressure():
+    env = Environment()
+    arb = RoundRobinArbiter(env, port_depth=1)
+    port = arb.add_port()
+    times = []
+
+    def producer():
+        yield from port.put(1)
+        times.append(env.now)
+        yield from port.put(2)  # blocks until consumer drains
+        times.append(env.now)
+
+    def consumer():
+        yield env.timeout(100)
+        yield from arb.get()
+        yield from arb.get()
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    assert times[0] == 0
+    assert times[1] == 100
+
+
+def test_arbiter_get_blocks_until_work():
+    env = Environment()
+    arb = RoundRobinArbiter(env)
+    port = arb.add_port()
+    got = []
+
+    def consumer():
+        item = yield from arb.get()
+        got.append((item, env.now))
+
+    def producer():
+        yield env.timeout(42)
+        yield from port.put("late")
+
+    env.process(consumer())
+    env.process(producer())
+    env.run()
+    assert got == [("late", 42)]
+
+
+def test_arbiter_try_get():
+    env = Environment()
+    arb = RoundRobinArbiter(env)
+    port = arb.add_port()
+    assert arb.try_get() is None
+    env.process(port.put("a"))
+    env.run()
+    assert arb.try_get() == "a"
+    assert arb.backlog == 0

@@ -1,0 +1,82 @@
+"""Tests for the packetizer (paper §6.3)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Descriptor, Packetizer, StreamType
+
+
+def desc(length, vaddr=0x1000):
+    return Descriptor(vfpga_id=0, pid=1, vaddr=vaddr, length=length)
+
+
+def test_default_packet_size_is_4k():
+    assert Packetizer().packet_bytes == 4096
+
+
+def test_single_packet_request():
+    packets = Packetizer().split_all(desc(100))
+    assert len(packets) == 1
+    assert packets[0].length == 100
+    assert packets[0].last
+
+
+def test_exact_multiple_split():
+    packets = Packetizer().split_all(desc(3 * 4096))
+    assert [p.length for p in packets] == [4096, 4096, 4096]
+    assert [p.last for p in packets] == [False, False, True]
+
+
+def test_remainder_packet():
+    packets = Packetizer().split_all(desc(4096 + 100))
+    assert [p.length for p in packets] == [4096, 100]
+
+
+def test_addresses_are_contiguous():
+    packets = Packetizer().split_all(desc(10_000, vaddr=0x5000))
+    assert packets[0].vaddr == 0x5000
+    assert packets[1].vaddr == 0x5000 + 4096
+    assert packets[2].vaddr == 0x5000 + 8192
+
+
+def test_configurable_chunk():
+    packets = Packetizer(packet_bytes=512).split_all(desc(2048))
+    assert len(packets) == 4
+
+
+def test_count():
+    p = Packetizer()
+    assert p.count(1) == 1
+    assert p.count(4096) == 1
+    assert p.count(4097) == 2
+
+
+def test_invalid_packet_size():
+    with pytest.raises(ValueError):
+        Packetizer(packet_bytes=0)
+
+
+def test_descriptor_validation():
+    with pytest.raises(ValueError):
+        Descriptor(vfpga_id=0, pid=0, vaddr=0, length=0)
+    with pytest.raises(ValueError):
+        Descriptor(vfpga_id=0, pid=0, vaddr=-1, length=10)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    length=st.integers(min_value=1, max_value=1 << 22),
+    chunk=st.sampled_from([512, 1024, 4096, 8192]),
+)
+def test_split_covers_exactly_once(length, chunk):
+    """Packets tile the request exactly: no gaps, no overlap, one last."""
+    packets = Packetizer(chunk).split_all(desc(length, vaddr=0))
+    assert sum(p.length for p in packets) == length
+    expected_vaddr = 0
+    for p in packets:
+        assert p.vaddr == expected_vaddr
+        assert 0 < p.length <= chunk
+        expected_vaddr += p.length
+    assert sum(1 for p in packets if p.last) == 1
+    assert packets[-1].last

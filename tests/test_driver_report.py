@@ -1,0 +1,60 @@
+"""Tests for the card status report."""
+
+from repro import (
+    CThread,
+    Driver,
+    Environment,
+    LocalSg,
+    Oper,
+    SgEntry,
+    Shell,
+    ShellConfig,
+)
+from repro.apps import PassThroughApp
+from repro.driver import card_report, format_report
+
+
+def run_some_traffic():
+    env = Environment()
+    shell = Shell(env, ShellConfig(num_vfpgas=1))
+    driver = Driver(env, shell)
+    shell.load_app(0, PassThroughApp())
+    ct = CThread(driver, 0, pid=11)
+
+    def main():
+        src = yield from ct.get_mem(1 << 16)
+        dst = yield from ct.get_mem(1 << 16)
+        sg = SgEntry(local=LocalSg(src_addr=src.vaddr, src_len=1 << 16,
+                                   dst_addr=dst.vaddr, dst_len=1 << 16))
+        yield from ct.invoke(Oper.LOCAL_TRANSFER, sg)
+
+    env.run(env.process(main()))
+    env.run()  # drain trailing writebacks
+    return driver
+
+
+def test_report_structure():
+    driver = run_some_traffic()
+    report = card_report(driver)
+    assert report["device"] == "u55c"
+    assert "host" in report["services"]
+    assert report["pcie"]["h2c_bytes"] == 1 << 16
+    assert report["pcie"]["c2h_bytes"] == 1 << 16
+    assert report["processes"] == [11]
+    vfpga = report["vfpgas"][0]
+    assert vfpga["app"] == "passthrough"
+    assert vfpga["tlb"]["hits"] > 0
+    assert "hbm" in report  # memory service enabled by default
+
+
+def test_report_counts_writebacks():
+    driver = run_some_traffic()
+    report = card_report(driver)
+    assert sum(report["pcie"]["writebacks"].values()) >= 2  # rd + wr
+
+
+def test_format_report_flattens():
+    driver = run_some_traffic()
+    text = format_report(card_report(driver))
+    assert "pcie.h2c_bytes: 65536" in text
+    assert "vfpgas[0].app: passthrough" in text

@@ -1,0 +1,86 @@
+"""Smoke tests for the experiment runners (small parameters).
+
+The full-scale assertions live in ``benchmarks/``; here we make sure the
+runners execute, return well-formed results, and hold their key claims on
+reduced workloads so plain ``pytest tests/`` covers them too.
+"""
+
+import pytest
+
+from repro.experiments import (
+    ExperimentResult,
+    format_table,
+    run_fig7a,
+    run_fig7b,
+    run_fig8,
+    run_fig10a,
+    run_fig10b,
+    run_table1,
+    run_table2,
+    run_table3,
+)
+
+
+def test_experiment_result_render():
+    result = ExperimentResult("Figure X", "demo")
+    result.add_row(a=1, b=2.5)
+    result.add_row(a=3, b=0.001)
+    result.notes.append("a note")
+    text = result.render()
+    assert "Figure X" in text
+    assert "a note" in text
+    assert result.column("a") == [1, 3]
+
+
+def test_format_table_alignment():
+    rows = [{"x": 1, "y": "long-value"}, {"x": 22, "y": "s"}]
+    lines = format_table(rows).splitlines()
+    assert len(lines) == 4  # header, rule, two rows
+    assert len(set(len(line.rstrip()) for line in lines[:2])) >= 1
+
+
+def test_table1_runner():
+    result = run_table1()
+    assert len(result.rows) == 15
+    assert result.rows[-1]["shell"] == "Coyote v2"
+
+
+def test_table2_runner():
+    result = run_table2(bitstream_mb=4)
+    measured = {row["application"]: row["max_throughput_mbps"] for row in result.rows}
+    assert measured["Coyote v2 ICAP"] == pytest.approx(800, rel=0.02)
+
+
+def test_table3_runner_single_trial():
+    result = run_table3(trials=1)
+    assert len(result.rows) == 3
+    for row in result.rows:
+        assert row["vivado_ms"] > 10 * row["total_ms"]
+
+
+def test_fig7a_runner_small():
+    result = run_fig7a(channels=(1, 4), transfer_mb=1)
+    series = {row["channels"]: row["throughput_gbps"] for row in result.rows}
+    assert series[4] > 3 * series[1]
+
+
+def test_fig7b_runner():
+    result = run_fig7b()
+    assert all(13 <= row["savings_pct"] <= 22 for row in result.rows)
+
+
+def test_fig8_runner_small():
+    result = run_fig8(max_tenants=2)
+    assert result.rows[1]["fairness"] > 0.9
+
+
+def test_fig10a_runner_small():
+    result = run_fig10a(message_kb=(4, 32))
+    series = {row["message_kb"]: row["throughput_mbps"] for row in result.rows}
+    assert series[32] > series[4]
+
+
+def test_fig10b_runner_small():
+    result = run_fig10b(threads=(1, 4))
+    series = {row["threads"]: row["speedup"] for row in result.rows}
+    assert series[4] > 3.0

@@ -1,0 +1,91 @@
+"""Unit tests for the HBM controller model."""
+
+import pytest
+
+from repro.mem import HbmConfig, HbmController
+from repro.sim import Environment
+
+
+def small_config(**kw):
+    defaults = dict(num_channels=4, channel_bytes=1 << 20, stripe_bytes=4096)
+    defaults.update(kw)
+    return HbmConfig(**defaults)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        HbmConfig(num_channels=0)
+    with pytest.raises(ValueError):
+        HbmConfig(stripe_bytes=3000)
+
+
+def test_channel_bandwidth_is_nominal_hbm():
+    cfg = HbmConfig()
+    # 32 bytes/cycle at 450 MHz = 14.4 GB/s
+    assert cfg.channel_bandwidth == pytest.approx(14.4)
+
+
+def test_striping_maps_consecutive_stripes_to_consecutive_channels():
+    env = Environment()
+    hbm = HbmController(env, small_config())
+    assert hbm.channel_of(0) == 0
+    assert hbm.channel_of(4096) == 1
+    assert hbm.channel_of(4 * 4096) == 0  # wraps
+
+
+def test_functional_write_read_roundtrip():
+    env = Environment()
+    hbm = HbmController(env, small_config())
+    payload = bytes(range(256)) * 64  # 16 KB across all 4 channels
+
+    def proc():
+        yield from hbm.write(100, payload)
+        data = yield from hbm.read(100, len(payload))
+        return data
+
+    assert env.run(env.process(proc())) == payload
+
+
+def test_striped_access_faster_than_single_channel():
+    """Reading N bytes striped over 4 channels beats one channel."""
+    cfg_striped = small_config()
+    cfg_single = small_config(num_channels=1)
+    times = {}
+    for tag, cfg in [("striped", cfg_striped), ("single", cfg_single)]:
+        env = Environment()
+        hbm = HbmController(env, cfg)
+
+        def proc(h=hbm, e=env):
+            yield from h.read(0, 64 * 1024)
+            return e.now
+
+        times[tag] = env.run(env.process(proc()))
+    assert times["striped"] < times["single"] / 2
+
+
+def test_counters():
+    env = Environment()
+    hbm = HbmController(env, small_config())
+
+    def proc():
+        yield from hbm.write(0, b"a" * 1000)
+        yield from hbm.read(0, 500)
+
+    env.run(env.process(proc()))
+    assert hbm.bytes_written == 1000
+    assert hbm.bytes_read == 500
+
+
+def test_untimed_access():
+    env = Environment()
+    hbm = HbmController(env, small_config())
+    hbm.write_now(42, b"hello")
+    assert hbm.read_now(42, 5) == b"hello"
+
+
+def test_unaligned_request_splits_at_stripe_boundary():
+    env = Environment()
+    hbm = HbmController(env, small_config())
+    stripes = list(hbm._stripes(4000, 200))
+    # Crosses the 4096 boundary: 96 bytes on channel 0, 104 on channel 1.
+    assert stripes == [(0, 4000, 96), (1, 4096, 104)]

@@ -1,0 +1,127 @@
+"""Unit and property tests for the set-associative TLB."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mem import PAGE_1G, PAGE_2M, PAGE_4K, MemLocation, Tlb, TlbConfig, TlbEntry
+
+
+def make_entry(vpn, ppn=None, location=MemLocation.HOST):
+    return TlbEntry(vpn=vpn, ppn=ppn if ppn is not None else vpn + 1000, location=location)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        TlbConfig(page_size=3000)
+    with pytest.raises(ValueError):
+        TlbConfig(num_entries=0)
+    with pytest.raises(ValueError):
+        TlbConfig(num_entries=10, associativity=4)  # not divisible
+    with pytest.raises(ValueError):
+        TlbConfig(associativity=0)
+
+
+def test_page_shift_for_supported_sizes():
+    assert TlbConfig(page_size=PAGE_4K).page_shift == 12
+    assert TlbConfig(page_size=PAGE_2M).page_shift == 21
+    assert TlbConfig(page_size=PAGE_1G).page_shift == 30
+
+
+def test_lookup_hit_and_miss_counters():
+    tlb = Tlb(TlbConfig(page_size=PAGE_4K, num_entries=16, associativity=4))
+    tlb.insert(make_entry(5))
+    assert tlb.lookup(5 * PAGE_4K + 100).ppn == 1005
+    assert tlb.lookup(6 * PAGE_4K) is None
+    assert tlb.hits == 1
+    assert tlb.misses == 1
+
+
+def test_offset_preserved_through_translation():
+    tlb = Tlb(TlbConfig(page_size=PAGE_2M, num_entries=8, associativity=2))
+    tlb.insert(TlbEntry(vpn=3, ppn=77, location=MemLocation.CARD))
+    entry = tlb.lookup(3 * PAGE_2M + 0x1234)
+    paddr = (entry.ppn << 21) | tlb.offset_of(3 * PAGE_2M + 0x1234)
+    assert paddr == (77 << 21) | 0x1234
+
+
+def test_lru_eviction_within_set():
+    # 4 entries, 2 ways -> 2 sets; vpns 0,2,4 all map to set 0.
+    tlb = Tlb(TlbConfig(page_size=PAGE_4K, num_entries=4, associativity=2))
+    tlb.insert(make_entry(0))
+    tlb.insert(make_entry(2))
+    # Touch vpn 0 so vpn 2 becomes LRU.
+    assert tlb.lookup(0) is not None
+    tlb.insert(make_entry(4))
+    assert tlb.lookup(0 * PAGE_4K) is not None
+    assert tlb.lookup(2 * PAGE_4K) is None  # evicted
+    assert tlb.lookup(4 * PAGE_4K) is not None
+    assert tlb.evictions == 1
+
+
+def test_insert_existing_vpn_updates_without_eviction():
+    tlb = Tlb(TlbConfig(page_size=PAGE_4K, num_entries=4, associativity=2))
+    tlb.insert(make_entry(0, ppn=1))
+    tlb.insert(make_entry(0, ppn=2))
+    assert tlb.evictions == 0
+    assert tlb.lookup(0).ppn == 2
+
+
+def test_invalidate():
+    tlb = Tlb(TlbConfig(page_size=PAGE_4K, num_entries=4, associativity=2))
+    tlb.insert(make_entry(9))
+    assert tlb.invalidate(9 * PAGE_4K)
+    assert not tlb.invalidate(9 * PAGE_4K)
+    assert tlb.lookup(9 * PAGE_4K) is None
+
+
+def test_invalidate_all():
+    tlb = Tlb(TlbConfig(page_size=PAGE_4K, num_entries=8, associativity=2))
+    for vpn in range(8):
+        tlb.insert(make_entry(vpn))
+    tlb.invalidate_all()
+    assert tlb.occupancy == 0
+
+
+def test_occupancy_bounded_by_capacity():
+    config = TlbConfig(page_size=PAGE_4K, num_entries=8, associativity=4)
+    tlb = Tlb(config)
+    for vpn in range(100):
+        tlb.insert(make_entry(vpn))
+    assert tlb.occupancy <= config.num_entries
+
+
+def test_hit_rate():
+    tlb = Tlb(TlbConfig(page_size=PAGE_4K, num_entries=8, associativity=2))
+    assert tlb.hit_rate == 0.0
+    tlb.insert(make_entry(1))
+    tlb.lookup(1 * PAGE_4K)
+    tlb.lookup(2 * PAGE_4K)
+    assert tlb.hit_rate == 0.5
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    vpns=st.lists(st.integers(min_value=0, max_value=255), min_size=1, max_size=200),
+    assoc_pow=st.integers(min_value=0, max_value=3),
+)
+def test_most_recent_insertions_always_resident(vpns, assoc_pow):
+    """Within each set, the `associativity` most recent distinct vpns remain."""
+    assoc = 1 << assoc_pow
+    config = TlbConfig(page_size=PAGE_4K, num_entries=16 * assoc, associativity=assoc)
+    tlb = Tlb(config)
+    for vpn in vpns:
+        tlb.insert(make_entry(vpn))
+    # For each set, compute the most recent distinct vpns in insertion order.
+    by_set = {}
+    for vpn in vpns:
+        by_set.setdefault(vpn % config.num_sets, []).append(vpn)
+    for set_no, history in by_set.items():
+        recent = []
+        for vpn in reversed(history):
+            if vpn not in recent:
+                recent.append(vpn)
+            if len(recent) == assoc:
+                break
+        for vpn in recent:
+            assert tlb.lookup(vpn * PAGE_4K) is not None, (set_no, vpn)

@@ -1,0 +1,96 @@
+"""Tests for the Conv1D lowering in the hls4ml-style compiler."""
+
+import numpy as np
+import pytest
+
+from repro.ml import ModelSpec, convert_model
+
+
+def reference_conv1d(x, kernel, bias):
+    """Direct (length, channels) valid conv, stride 1."""
+    length, channels = x.shape
+    k, _c, filters = kernel.shape
+    out = np.zeros((length - k + 1, filters))
+    for pos in range(length - k + 1):
+        window = x[pos : pos + k]  # (k, channels)
+        out[pos] = np.tensordot(window, kernel, axes=([0, 1], [0, 1])) + bias
+    return out
+
+
+def test_conv_requires_spatial_shape():
+    model = ModelSpec(input_width=10)
+    with pytest.raises(ValueError, match="spatial"):
+        model.add_conv1d(4, 3)
+
+
+def test_input_shape_validation():
+    with pytest.raises(ValueError, match="flatten"):
+        ModelSpec(input_width=10, input_shape=(3, 4))
+
+
+def test_kernel_shape_validation():
+    model = ModelSpec(input_width=12, input_shape=(6, 2))
+    with pytest.raises(ValueError, match="kernel shape"):
+        model.add_conv1d(4, 3, kernel=np.zeros((3, 3, 4)))
+    with pytest.raises(ValueError, match="kernel longer"):
+        model.add_conv1d(4, 7)
+
+
+def test_lowered_conv_matches_direct_convolution():
+    rng = np.random.default_rng(0)
+    length, channels, k, filters = 12, 3, 4, 5
+    kernel = rng.normal(size=(k, channels, filters))
+    bias = rng.normal(size=filters)
+    model = ModelSpec(input_width=length * channels, input_shape=(length, channels))
+    model.add_conv1d(filters, k, activation="linear", kernel=kernel, bias=bias)
+    x = rng.normal(size=(length, channels))
+    lowered_out = model.predict_float(x.reshape(1, -1))[0]
+    direct = reference_conv1d(x, kernel, bias).reshape(-1)
+    assert np.allclose(lowered_out, direct)
+
+
+def test_conv_then_dense_pipeline():
+    rng = np.random.default_rng(1)
+    model = ModelSpec(input_width=32, input_shape=(16, 2), name="cnn")
+    model.add_conv1d(4, 3, rng=rng)
+    model.add_conv1d(8, 3, rng=rng)
+    model.add_dense(10, "relu", rng=rng)
+    model.add_dense(2, "linear", rng=rng)
+    assert model.output_width == 2
+    # Shape tracking: 16 -> 14 -> 12 positions.
+    assert model.layers[1].n_in == 14 * 4
+    assert model.layers[1].n_out == 12 * 8
+
+
+def test_dense_after_conv_blocks_further_convs():
+    model = ModelSpec(input_width=16, input_shape=(8, 2))
+    model.add_conv1d(4, 3)
+    model.add_dense(5)
+    with pytest.raises(ValueError, match="spatial"):
+        model.add_conv1d(2, 2)
+
+
+def test_effective_multiplies_reflect_weight_sharing():
+    model = ModelSpec(input_width=64, input_shape=(32, 2))
+    model.add_conv1d(8, 5)
+    layer = model.layers[0]
+    # Lowered matrix is much bigger than the true MAC count.
+    assert layer.multiplies == 28 * 5 * 2 * 8
+    assert layer.multiplies < layer.n_in * layer.n_out
+
+
+def test_quantized_conv_model_end_to_end():
+    rng = np.random.default_rng(2)
+    model = ModelSpec(input_width=32, input_shape=(16, 2), name="cnn")
+    model.add_conv1d(4, 3, rng=rng)
+    model.add_dense(2, "linear", rng=rng)
+    hls = convert_model(model)
+    hls.compile()
+    x = rng.normal(size=(64, 32))
+    emu = hls.predict(x)
+    ref = model.predict_float(x)
+    corr = np.corrcoef(emu.ravel(), ref.ravel())[0, 1]
+    assert corr > 0.999
+    # Resource estimate uses the shared-weight MAC count.
+    ip = hls.build()
+    assert ip.resources.dsps < 2000

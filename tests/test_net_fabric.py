@@ -1,0 +1,108 @@
+"""Edge-case tests for the CMAC and switch fabric."""
+
+import pytest
+
+from repro.net import BthHeader, Cmac, MacAddress, RocePacket, RoceOpcode, Switch
+from repro.net.cmac import CMAC_BANDWIDTH, FRAME_OVERHEAD_BYTES
+from repro.sim import Environment
+
+MAC_A = MacAddress(0x02_11_01)
+MAC_B = MacAddress(0x02_11_02)
+
+
+def packet(dst=MAC_B, payload=b"x" * 100):
+    return RocePacket.build(
+        src_mac=MAC_A, dst_mac=dst, src_ip=1, dst_ip=2,
+        bth=BthHeader(opcode=RoceOpcode.SEND_ONLY, dest_qp=1, psn=0),
+        payload=payload,
+    )
+
+
+def test_tx_without_wire_rejected():
+    env = Environment()
+    cmac = Cmac(env)
+
+    def proc():
+        yield from cmac.tx(packet())
+
+    env.process(proc())
+    with pytest.raises(RuntimeError, match="not attached"):
+        env.run()
+
+
+def test_tx_serialisation_time_matches_line_rate():
+    env = Environment()
+    switch = Switch(env, latency_ns=0)
+    cmac_a, cmac_b = Cmac(env), Cmac(env)
+    switch.attach(MAC_A, cmac_a)
+    switch.attach(MAC_B, cmac_b)
+    pkt = packet()
+
+    def proc():
+        yield from cmac_a.tx(pkt)
+        return env.now
+
+    elapsed = env.run(env.process(proc()))
+    expected = (pkt.wire_length + FRAME_OVERHEAD_BYTES) / CMAC_BANDWIDTH
+    assert elapsed == pytest.approx(expected)
+
+
+def test_unroutable_frames_counted():
+    env = Environment()
+    switch = Switch(env)
+    cmac_a = Cmac(env)
+    switch.attach(MAC_A, cmac_a)
+
+    def proc():
+        yield from cmac_a.tx(packet(dst=MacAddress(0xDEAD)))
+
+    env.run(env.process(proc()))
+    env.run()
+    assert switch.unroutable == 1
+    assert switch.forwarded == 0
+
+
+def test_switch_drop_counts():
+    env = Environment()
+    switch = Switch(env)
+    cmac_a, cmac_b = Cmac(env), Cmac(env)
+    switch.attach(MAC_A, cmac_a)
+    switch.attach(MAC_B, cmac_b)
+    switch.drop_fn = lambda pkt: True
+
+    def proc():
+        yield from cmac_a.tx(packet())
+
+    env.run(env.process(proc()))
+    env.run()
+    assert switch.dropped == 1
+    assert cmac_b.rx_frames == 0
+
+
+def test_duplicate_attach_rejected():
+    env = Environment()
+    switch = Switch(env)
+    switch.attach(MAC_A, Cmac(env))
+    with pytest.raises(ValueError, match="already attached"):
+        switch.attach(MAC_A, Cmac(env))
+
+
+def test_cmac_counters():
+    env = Environment()
+    switch = Switch(env, latency_ns=10)
+    cmac_a, cmac_b = Cmac(env), Cmac(env)
+    switch.attach(MAC_A, cmac_a)
+    switch.attach(MAC_B, cmac_b)
+    pkt = packet()
+
+    def proc():
+        yield from cmac_a.tx(pkt)
+        yield from cmac_a.tx(pkt)
+
+    env.run(env.process(proc()))
+    env.run()
+    assert cmac_a.tx_frames == 2
+    assert cmac_a.tx_bytes == 2 * pkt.wire_length
+    assert cmac_b.rx_frames == 2
+    assert cmac_b.rx_bytes == 2 * pkt.wire_length
+    assert len(cmac_b.rx_queue) == 2

@@ -1,0 +1,244 @@
+"""Integration tests for the RoCE v2 RDMA stack over the switch fabric."""
+
+import pytest
+
+from repro.mem import SparseMemory
+from repro.net import (
+    Cmac,
+    MacAddress,
+    QpEndpoint,
+    RdmaConfig,
+    RdmaError,
+    RdmaStack,
+    RoceOpcode,
+    Switch,
+)
+from repro.sim import Environment
+
+
+def make_node(env, switch, mac_value, ip, name):
+    """A simulated node: CMAC + RDMA stack + flat local memory."""
+    mac = MacAddress(mac_value)
+    cmac = Cmac(env, name=f"{name}-cmac")
+    switch.attach(mac, cmac)
+    stack = RdmaStack(env, cmac, mac, ip, name=name)
+    memory = SparseMemory(1 << 24, name=f"{name}-mem")
+
+    def read_local(vaddr, length):
+        yield env.timeout(length / 12.0)  # ~PCIe-ish local fetch
+        return memory.read(vaddr, length)
+
+    def write_local(vaddr, data, length):
+        yield env.timeout(length / 12.0)
+        if data is not None:
+            memory.write(vaddr, data)
+
+    stack.bind_memory(read_local, write_local)
+    return stack, memory
+
+
+def connect(stack_a, stack_b, qpn_a=1, qpn_b=2):
+    qa = stack_a.create_qp(qpn_a, psn=10)
+    qb = stack_b.create_qp(qpn_b, psn=20)
+    qa.connect(qb.local)
+    qb.connect(qa.local)
+    return qa, qb
+
+
+def two_nodes(config=None):
+    env = Environment()
+    switch = Switch(env)
+    a, mem_a = make_node(env, switch, 0x02_0000_0001, 0x0A000001, "a")
+    b, mem_b = make_node(env, switch, 0x02_0000_0002, 0x0A000002, "b")
+    if config is not None:
+        a.config = config
+        b.config = config
+    connect(a, b)
+    return env, (a, mem_a), (b, mem_b), switch
+
+
+def test_write_single_packet():
+    env, (a, mem_a), (b, mem_b), _sw = two_nodes()
+    mem_a.write(0x100, b"rdma write payload")
+
+    def proc():
+        completion = yield from a.rdma_write(1, 0x100, 0x5000, 18)
+        return completion
+
+    completion = env.run(env.process(proc()))
+    assert completion.status == "success"
+    assert mem_b.read(0x5000, 18) == b"rdma write payload"
+
+
+def test_write_multi_packet_segmentation():
+    env, (a, mem_a), (b, mem_b), _sw = two_nodes()
+    payload = bytes(i % 251 for i in range(20_000))  # 5 MTU-sized packets
+    mem_a.write(0, payload)
+
+    def proc():
+        yield from a.rdma_write(1, 0, 0x8000, len(payload))
+
+    env.run(env.process(proc()))
+    assert mem_b.read(0x8000, len(payload)) == payload
+    # FIRST + 3 MIDDLE + LAST
+    assert a.stats["tx_packets"] >= 5
+
+
+def test_read_roundtrip():
+    env, (a, mem_a), (b, mem_b), _sw = two_nodes()
+    payload = b"remote data " * 700  # multi-packet read
+    mem_b.write(0x2000, payload)
+
+    def proc():
+        yield from a.rdma_read(1, 0x300, 0x2000, len(payload))
+
+    env.run(env.process(proc()))
+    assert mem_a.read(0x300, len(payload)) == payload
+
+
+def test_send_recv():
+    env, (a, _mem_a), (b, _mem_b), _sw = two_nodes()
+    got = []
+
+    def sender():
+        yield from a.send(1, b"two-sided hello")
+
+    def receiver():
+        message = yield from b.recv(2)
+        got.append(message)
+
+    env.process(sender())
+    receiver_proc = env.process(receiver())
+    env.run(receiver_proc)
+    assert got == [b"two-sided hello"]
+
+
+def test_write_completion_lands_in_cq():
+    env, (a, mem_a), (_b, _mem_b), _sw = two_nodes()
+    mem_a.write(0, b"y" * 100)
+
+    def proc():
+        yield from a.rdma_write(1, 0, 0x100, 100, wr_id=77)
+        completion = yield a.cq.get()
+        return completion
+
+    completion = env.run(env.process(proc()))
+    assert completion.wr_id == 77
+    assert completion.opcode == "WRITE"
+
+
+def test_retransmission_after_packet_loss():
+    config = RdmaConfig(retransmit_timeout_ns=30_000)
+    env, (a, mem_a), (b, mem_b), switch = two_nodes(config)
+    payload = bytes(i % 256 for i in range(12_288))  # 3 packets
+    mem_a.write(0, payload)
+    dropped = []
+
+    def drop_second_data_packet(packet):
+        if (
+            packet.bth.opcode == RoceOpcode.RDMA_WRITE_MIDDLE
+            and not dropped
+        ):
+            dropped.append(packet.bth.psn)
+            return True
+        return False
+
+    switch.drop_fn = drop_second_data_packet
+
+    def proc():
+        yield from a.rdma_write(1, 0, 0x4000, len(payload))
+
+    env.run(env.process(proc()))
+    assert dropped, "fault injection never triggered"
+    assert a.stats["retransmissions"] >= 1
+    assert mem_b.read(0x4000, len(payload)) == payload
+
+
+def test_nak_triggers_go_back_n():
+    config = RdmaConfig(retransmit_timeout_ns=1_000_000)  # rely on NAK, not timer
+    env, (a, mem_a), (b, mem_b), switch = two_nodes(config)
+    payload = bytes(i % 256 for i in range(12_288))
+    mem_a.write(0, payload)
+    state = {"dropped": False}
+
+    def drop_first(packet):
+        if packet.bth.opcode == RoceOpcode.RDMA_WRITE_FIRST and not state["dropped"]:
+            state["dropped"] = True
+            return True
+        return False
+
+    switch.drop_fn = drop_first
+
+    def proc():
+        yield from a.rdma_write(1, 0, 0, len(payload))
+
+    env.run(env.process(proc()))
+    assert b.stats["naks_sent"] >= 1
+    assert a.stats["naks_received"] >= 1
+    assert mem_b.read(0, len(payload)) == payload
+
+
+def test_duplicate_packets_ignored():
+    """After go-back-N the receiver sees duplicates and must not re-apply them."""
+    config = RdmaConfig(retransmit_timeout_ns=20_000)
+    env, (a, mem_a), (b, mem_b), switch = two_nodes(config)
+    payload = bytes(range(256)) * 16
+    mem_a.write(0, payload)
+    state = {"count": 0}
+
+    def drop_last_ack(packet):
+        # Drop the first ACK so the sender retransmits an already-applied write.
+        if packet.bth.opcode == RoceOpcode.ACKNOWLEDGE and state["count"] == 0:
+            state["count"] += 1
+            return True
+        return False
+
+    switch.drop_fn = drop_last_ack
+
+    def proc():
+        yield from a.rdma_write(1, 0, 0x1000, len(payload))
+
+    env.run(env.process(proc()))
+    assert mem_b.read(0x1000, len(payload)) == payload
+
+
+def test_verbs_on_unconnected_qp_rejected():
+    env = Environment()
+    switch = Switch(env)
+    a, _mem = make_node(env, switch, 0x02_0000_0003, 0x0A000003, "solo")
+    a.create_qp(5)
+
+    def proc():
+        yield from a.rdma_write(5, 0, 0, 10)
+
+    env.process(proc())
+    with pytest.raises(RdmaError, match="not connected"):
+        env.run()
+
+
+def test_rx_offload_transforms_payload():
+    """On-datapath vFPGA processing (SmartNIC-style offload)."""
+    env, (a, mem_a), (b, mem_b), _sw = two_nodes()
+    mem_a.write(0, b"abc")
+    b.rx_offloads[2] = lambda data: data.upper()
+
+    def proc():
+        yield from a.rdma_write(1, 0, 0x10, 3)
+
+    env.run(env.process(proc()))
+    assert mem_b.read(0x10, 3) == b"ABC"
+
+
+def test_throughput_approaches_line_rate():
+    """Large transfers should achieve a solid fraction of 100G."""
+    env, (a, mem_a), (_b, _mem_b), _sw = two_nodes()
+    total = 4 * 1024 * 1024  # 4 MB
+
+    def proc():
+        start = env.now
+        yield from a.rdma_write(1, 0, 0, total)
+        return total / (env.now - start)  # bytes/ns == GB/s
+
+    gbps = env.run(env.process(proc()))
+    # 100G = 12.5 GB/s; expect > 60% of line rate after headers/acks.
+    assert gbps > 7.5, f"only {gbps:.2f} GB/s"

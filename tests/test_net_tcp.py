@@ -1,0 +1,249 @@
+"""Tests for the TCP/IP offload stack."""
+
+import pytest
+
+from repro.net import (
+    Cmac,
+    MacAddress,
+    Switch,
+    TcpError,
+    TcpHeader,
+    TcpPacket,
+    TcpStack,
+    TcpState,
+)
+from repro.net.tcp import MSS, TcpFlags
+from repro.sim import Environment
+
+MAC_A = MacAddress(0x020000000A01)
+MAC_B = MacAddress(0x020000000A02)
+IP_A = 0x0A000001
+IP_B = 0x0A000002
+
+
+def two_stacks(**kw):
+    env = Environment()
+    switch = Switch(env)
+    cmac_a = Cmac(env, "a")
+    cmac_b = Cmac(env, "b")
+    switch.attach(MAC_A, cmac_a)
+    switch.attach(MAC_B, cmac_b)
+    a = TcpStack(env, cmac_a, MAC_A, IP_A, name="a", **kw)
+    b = TcpStack(env, cmac_b, MAC_B, IP_B, name="b", **kw)
+    return env, a, b, switch
+
+
+# ---------------------------------------------------------------- headers
+
+def test_header_roundtrip():
+    hdr = TcpHeader(src_port=5000, dst_port=80, seq=12345, ack=999,
+                    flags=TcpFlags.SYN | TcpFlags.ACK, window=4096)
+    back = TcpHeader.unpack(hdr.pack())
+    assert (back.src_port, back.dst_port, back.seq, back.ack) == (5000, 80, 12345, 999)
+    assert back.has(TcpFlags.SYN)
+    assert back.has(TcpFlags.ACK)
+    assert not back.has(TcpFlags.FIN)
+    assert back.window == 4096
+
+
+def test_packet_wire_roundtrip():
+    env, a, b, _sw = two_stacks()
+    conn_stub = type("C", (), {
+        "local_port": 1, "remote_port": 2, "remote_ip": IP_B,
+        "remote_mac": MAC_B, "rcv_nxt": 0, "rcv_window": 100,
+    })()
+    header = a._segment_header(conn_stub, TcpFlags.PSH | TcpFlags.ACK, seq=7)
+    packet = a._build(conn_stub, header, b"payload!")
+    back = TcpPacket.from_bytes(packet.to_bytes())
+    assert back.payload == b"payload!"
+    assert back.tcp.seq == 7
+    assert "PSH" in back.describe()
+
+
+# ------------------------------------------------------------- handshakes
+
+def test_three_way_handshake():
+    env, a, b, _sw = two_stacks()
+    b.listen(80)
+    results = {}
+
+    def client():
+        conn = yield from a.connect(MAC_B, IP_B, 80, local_port=5000)
+        results["client"] = conn
+
+    def server():
+        conn = yield from b.accept(80)
+        results["server"] = conn
+
+    env.process(client())
+    server_proc = env.process(server())
+    env.run(server_proc)
+    env.run(env.peek + 10_000 if env.peek != float("inf") else env.now)
+    assert results["client"].state is TcpState.ESTABLISHED
+    assert results["server"].state in (TcpState.ESTABLISHED, TcpState.SYN_RECEIVED)
+
+
+def test_connect_to_closed_port_counts_reset():
+    env, a, b, _sw = two_stacks()
+
+    def client():
+        yield from a.connect(MAC_B, IP_B, 81, local_port=5000)
+
+    env.process(client())
+    env.run(until=1_000_000)
+    assert b.stats["resets"] >= 1
+
+
+def test_duplicate_listen_rejected():
+    env, a, _b, _sw = two_stacks()
+    a.listen(80)
+    with pytest.raises(TcpError):
+        a.listen(80)
+
+
+def test_accept_without_listen_rejected():
+    env, a, _b, _sw = two_stacks()
+    with pytest.raises(TcpError):
+        a.accept(99)
+
+
+# ------------------------------------------------------------ data stream
+
+def exchange(env, a, b, payload, port=80):
+    """Connect, send payload a->b, return what b received."""
+    b.listen(port)
+    received = {}
+
+    def client():
+        conn = yield from a.connect(MAC_B, IP_B, port, local_port=5000)
+        yield from conn.send(payload)
+
+    def server():
+        conn = yield from b.accept(port)
+        data = yield from conn.recv(len(payload))
+        received["data"] = data
+
+    env.process(client())
+    server_proc = env.process(server())
+    env.run(server_proc)
+    return received["data"]
+
+
+def test_small_message_roundtrip():
+    env, a, b, _sw = two_stacks()
+    assert exchange(env, a, b, b"hello tcp over the fabric") == b"hello tcp over the fabric"
+
+
+def test_multi_segment_stream():
+    env, a, b, _sw = two_stacks()
+    payload = bytes(i % 251 for i in range(10 * MSS + 123))
+    assert exchange(env, a, b, payload) == payload
+
+
+def test_send_on_unestablished_connection_rejected():
+    env, a, b, _sw = two_stacks()
+    from repro.net.tcp import TcpConnection
+
+    conn = TcpConnection(stack=a, local_port=1)
+
+    def proc():
+        yield from conn.send(b"x")
+
+    env.process(proc())
+    with pytest.raises(TcpError):
+        env.run()
+
+
+def test_retransmission_on_loss():
+    env, a, b, switch = two_stacks(retransmit_timeout_ns=100_000)
+    state = {"dropped": 0}
+
+    def drop_one_data_segment(packet):
+        if (
+            isinstance(packet, TcpPacket)
+            and packet.payload
+            and state["dropped"] == 0
+        ):
+            state["dropped"] += 1
+            return True
+        return False
+
+    switch.drop_fn = drop_one_data_segment
+    payload = bytes(range(256)) * 20  # multiple segments
+    assert exchange(env, a, b, payload) == payload
+    assert a.stats["retransmissions"] >= 1
+
+
+def test_bidirectional_transfer():
+    env, a, b, _sw = two_stacks()
+    b.listen(80)
+    results = {}
+
+    def client():
+        conn = yield from a.connect(MAC_B, IP_B, 80, local_port=5000)
+        yield from conn.send(b"ping" * 500)
+        reply = yield from conn.recv(4)
+        results["reply"] = reply
+
+    def server():
+        conn = yield from b.accept(80)
+        data = yield from conn.recv(2000)
+        results["request"] = data
+        yield from conn.send(b"pong")
+
+    client_proc = env.process(client())
+    env.process(server())
+    env.run(client_proc)
+    assert results["request"] == b"ping" * 500
+    assert results["reply"] == b"pong"
+
+
+def test_flow_control_respects_peer_window():
+    """A slow receiver's shrinking window throttles the sender."""
+    env, a, b, _sw = two_stacks()
+    b.listen(80)
+    done = {}
+
+    def client():
+        conn = yield from a.connect(MAC_B, IP_B, 80, local_port=5000)
+        yield from conn.send(bytes(256 * 1024))  # 4x the receive window
+        done["sent"] = env.now
+
+    def server():
+        conn = yield from b.accept(80)
+        # Drain slowly: 32 KB chunks with gaps.
+        total = 0
+        while total < 256 * 1024:
+            chunk = yield from conn.recv(32 * 1024)
+            total += len(chunk)
+            yield env.timeout(50_000)
+        done["received"] = env.now
+
+    env.process(client())
+    server_proc = env.process(server())
+    env.run(server_proc)
+    assert done["received"] >= done["sent"]
+    assert a.stats["resets"] == 0
+
+
+def test_fin_teardown():
+    env, a, b, _sw = two_stacks()
+    b.listen(80)
+    states = {}
+
+    def client():
+        conn = yield from a.connect(MAC_B, IP_B, 80, local_port=5000)
+        yield from conn.send(b"bye")
+        yield from conn.close()
+        states["client"] = conn.state
+
+    def server():
+        conn = yield from b.accept(80)
+        yield from conn.recv(3)
+        yield from conn.close()
+        states["server_state_after"] = conn.state
+
+    client_proc = env.process(client())
+    env.process(server())
+    env.run(client_proc)
+    assert states["client"] is TcpState.CLOSED

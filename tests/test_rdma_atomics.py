@@ -1,0 +1,159 @@
+"""Tests for RoCE v2 atomic verbs (FETCH_ADD, CMP_SWAP)."""
+
+import pytest
+
+from repro.mem import SparseMemory
+from repro.net import Cmac, MacAddress, RdmaConfig, RdmaStack, RoceOpcode, Switch
+from repro.net.headers import AtomicAckEthHeader, AtomicEthHeader
+from repro.net.packet import RocePacket
+from repro.net.headers import BthHeader
+from repro.sim import AllOf, Environment
+
+
+def pair():
+    env = Environment()
+    switch = Switch(env)
+    stacks, memories = [], []
+    for i, (mac_val, ip) in enumerate([(0x02_00_0F01, 1), (0x02_00_0F02, 2)]):
+        mac = MacAddress(mac_val)
+        cmac = Cmac(env, name=f"n{i}")
+        switch.attach(mac, cmac)
+        stack = RdmaStack(env, cmac, mac, ip, name=f"n{i}")
+        memory = SparseMemory(1 << 20)
+
+        def read_local(vaddr, length, memory=memory):
+            yield env.timeout(length / 12.0)
+            return memory.read(vaddr, length)
+
+        def write_local(vaddr, data, length, memory=memory):
+            yield env.timeout(length / 12.0)
+            if data is not None:
+                memory.write(vaddr, data)
+
+        stack.bind_memory(read_local, write_local)
+        stacks.append(stack)
+        memories.append(memory)
+    qa = stacks[0].create_qp(1, psn=3)
+    qb = stacks[1].create_qp(2, psn=8)
+    qa.connect(qb.local)
+    qb.connect(qa.local)
+    return env, stacks, memories, switch
+
+
+def test_atomic_eth_header_roundtrip():
+    hdr = AtomicEthHeader(vaddr=0xDEAD0000, rkey=7, swap_add=42, compare=13)
+    back = AtomicEthHeader.unpack(hdr.pack())
+    assert (back.vaddr, back.rkey, back.swap_add, back.compare) == (0xDEAD0000, 7, 42, 13)
+    assert len(hdr.pack()) == 28
+
+
+def test_atomic_packet_wire_roundtrip():
+    pkt = RocePacket.build(
+        src_mac=MacAddress(1), dst_mac=MacAddress(2), src_ip=1, dst_ip=2,
+        bth=BthHeader(opcode=RoceOpcode.FETCH_ADD, dest_qp=5, psn=9, ack_request=True),
+        atomic_eth=AtomicEthHeader(vaddr=0x100, rkey=0, swap_add=1),
+    )
+    back = RocePacket.from_bytes(pkt.to_bytes())
+    assert back.atomic_eth.swap_add == 1
+    ack = RocePacket.build(
+        src_mac=MacAddress(2), dst_mac=MacAddress(1), src_ip=2, dst_ip=1,
+        bth=BthHeader(opcode=RoceOpcode.ATOMIC_ACKNOWLEDGE, dest_qp=4, psn=9),
+        aeth=__import__("repro.net.headers", fromlist=["AethHeader"]).AethHeader(0, 1),
+        atomic_ack=AtomicAckEthHeader(original=777),
+    )
+    assert RocePacket.from_bytes(ack.to_bytes()).atomic_ack.original == 777
+
+
+def test_fetch_add_returns_original_and_updates():
+    env, stacks, memories, _sw = pair()
+    memories[1].write(0x100, (100).to_bytes(8, "little"))
+
+    def proc():
+        original = yield from stacks[0].fetch_add(1, 0x100, 5)
+        return original
+
+    assert env.run(env.process(proc())) == 100
+    assert int.from_bytes(memories[1].read(0x100, 8), "little") == 105
+
+
+def test_fetch_add_wraps_64_bits():
+    env, stacks, memories, _sw = pair()
+    memories[1].write(0, ((1 << 64) - 1).to_bytes(8, "little"))
+
+    def proc():
+        original = yield from stacks[0].fetch_add(1, 0, 2)
+        return original
+
+    assert env.run(env.process(proc())) == (1 << 64) - 1
+    assert int.from_bytes(memories[1].read(0, 8), "little") == 1
+
+
+def test_compare_swap_success_and_failure():
+    env, stacks, memories, _sw = pair()
+    memories[1].write(0x40, (7).to_bytes(8, "little"))
+
+    def proc():
+        # Matching compare: swap happens.
+        first = yield from stacks[0].compare_swap(1, 0x40, compare=7, swap=99)
+        # Non-matching compare: value unchanged.
+        second = yield from stacks[0].compare_swap(1, 0x40, compare=7, swap=123)
+        return first, second
+
+    first, second = env.run(env.process(proc()))
+    assert first == 7
+    assert second == 99
+    assert int.from_bytes(memories[1].read(0x40, 8), "little") == 99
+
+
+def test_concurrent_fetch_adds_are_atomic():
+    """Two requesters incrementing one counter must not lose updates."""
+    env = Environment()
+    switch = Switch(env)
+    stacks, memories = [], []
+    for i in range(3):  # node 2 holds the counter
+        mac = MacAddress(0x02_00_1000 + i)
+        cmac = Cmac(env, name=f"n{i}")
+        switch.attach(mac, cmac)
+        stack = RdmaStack(env, cmac, mac, 0x10 + i, name=f"n{i}")
+        memory = SparseMemory(1 << 20)
+
+        def read_local(vaddr, length, memory=memory):
+            yield env.timeout(length / 12.0)
+            return memory.read(vaddr, length)
+
+        def write_local(vaddr, data, length, memory=memory):
+            yield env.timeout(length / 12.0)
+            if data is not None:
+                memory.write(vaddr, data)
+
+        stack.bind_memory(read_local, write_local)
+        stacks.append(stack)
+        memories.append(memory)
+    # Nodes 0 and 1 each connect to node 2.
+    for i in (0, 1):
+        qa = stacks[i].create_qp(1, psn=i)
+        qb = stacks[2].create_qp(10 + i, psn=20 + i)
+        qa.connect(qb.local)
+        qb.connect(qa.local)
+
+    def incrementer(node, times):
+        for _ in range(times):
+            yield from stacks[node].fetch_add(1, 0x200, 1)
+
+    procs = [env.process(incrementer(0, 20)), env.process(incrementer(1, 20))]
+    env.run(AllOf(env, procs))
+    assert int.from_bytes(memories[2].read(0x200, 8), "little") == 40
+
+
+def test_atomic_completion_lands_in_cq():
+    env, stacks, memories, _sw = pair()
+
+    def proc():
+        yield from stacks[0].fetch_add(1, 0, 1, wr_id=55)
+        completion = yield stacks[0].cq.get()
+        return completion
+
+    completion = env.run(env.process(proc()))
+    assert completion.wr_id == 55
+    assert completion.opcode == "FETCH_ADD"
+    assert completion.length == 8

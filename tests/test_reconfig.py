@@ -1,0 +1,208 @@
+"""Tests for partial reconfiguration: ICAP, flows, safety checks."""
+
+import pytest
+
+from repro import Driver, Environment, ServiceConfig, Shell, ShellConfig
+from repro.apps import AesEcbApp, HllApp, PassThroughApp
+from repro.core import (
+    AXI_HWICAP,
+    COYOTE_ICAP,
+    MCAP,
+    PCAP,
+    Bitstream,
+    BitstreamKind,
+    IcapController,
+    ReconfigError,
+    VivadoHwManager,
+)
+from repro.mem import MmuConfig, TlbConfig
+from repro.mem.tlb import PAGE_1G
+from repro.synth import BuildFlow
+
+
+def test_table2_port_throughput_ordering():
+    """HWICAP < PCAP < MCAP << Coyote ICAP (Table 2)."""
+    assert AXI_HWICAP.throughput_mbps == 19
+    assert PCAP.throughput_mbps == 128
+    assert MCAP.throughput_mbps == 145
+    assert COYOTE_ICAP.throughput_mbps == 800
+    # Coyote's controller is >5x the best baseline (order of magnitude vs HWICAP).
+    assert COYOTE_ICAP.throughput_mbps / MCAP.throughput_mbps > 5
+    assert COYOTE_ICAP.throughput_mbps / AXI_HWICAP.throughput_mbps > 40
+
+
+def test_program_time_scales_with_size():
+    bitstream_ns = COYOTE_ICAP.program_time_ns(800_000_000)
+    assert bitstream_ns == pytest.approx(1e9)  # 800 MB at 800 MB/s = 1 s
+
+
+def test_icap_controller_charges_time():
+    env = Environment()
+    icap = IcapController(env)
+    bs = Bitstream(kind=BitstreamKind.APP, target_region="vfpga0", size_bytes=8_000_000)
+
+    def proc():
+        yield env.process(icap.program(bs, from_host=False))
+        return env.now
+
+    elapsed = env.run(env.process(proc()))
+    assert elapsed == pytest.approx(10e6)  # 8 MB at 800 MB/s = 10 ms
+    assert icap.programs == 1
+    assert icap.bytes_programmed == 8_000_000
+
+
+def test_vivado_flow_is_order_of_magnitude_slower():
+    env = Environment()
+    flow = BuildFlow("u55c")
+    services = ServiceConfig()
+    shell_bs = flow.shell_flow(services, ["passthrough"]).bitstream
+    full_bs = flow.full_flow(services, ["passthrough"]).bitstream
+    vivado_ns = VivadoHwManager(env).program_time_ns(full_bs)
+    coyote_total_ns = (
+        COYOTE_ICAP.program_time_ns(shell_bs.size_bytes)
+        + IcapController.host_overhead_ns(shell_bs)
+    )
+    assert vivado_ns / coyote_total_ns > 10  # "an order of magnitude faster"
+
+
+def test_vivado_flow_rejects_partial_bitstreams():
+    env = Environment()
+    bs = Bitstream(kind=BitstreamKind.SHELL, target_region="shell", size_bytes=1000)
+    with pytest.raises(ReconfigError):
+        VivadoHwManager(env).program_time_ns(bs)
+
+
+def test_app_reconfig_swaps_user_logic():
+    env = Environment()
+    shell = Shell(env, ShellConfig(num_vfpgas=1))
+    driver = Driver(env, shell)
+    flow = BuildFlow("u55c")
+    checkpoint = flow.shell_flow(shell.config.services, ["passthrough"]).checkpoint
+    # Force the checkpoint identity to this live shell's configuration.
+    app_bs = flow.app_flow(checkpoint, ["hll"]).bitstream
+    assert app_bs.linked_shell == shell.shell_id
+    shell.load_app(0, PassThroughApp())
+
+    def main():
+        start = env.now
+        yield env.process(driver.reconfigure_app(app_bs, 0, HllApp()))
+        return env.now - start
+
+    elapsed = env.run(env.process(main()))
+    assert isinstance(shell.vfpgas[0].app, HllApp)
+    assert shell.app_reconfigs == 1
+    assert elapsed > COYOTE_ICAP.program_time_ns(app_bs.size_bytes)
+
+
+def test_app_linked_against_other_shell_rejected():
+    """The fail-safe: apps cannot load into shells missing their services."""
+    env = Environment()
+    shell = Shell(env, ShellConfig(num_vfpgas=1))  # memory service on
+    driver = Driver(env, shell)
+    flow = BuildFlow("u55c")
+    other_services = ServiceConfig(
+        en_memory=False, mmu=MmuConfig(tlb=TlbConfig(page_size=PAGE_1G))
+    )
+    checkpoint = flow.shell_flow(other_services, []).checkpoint
+    app_bs = flow.app_flow(checkpoint, ["hll"]).bitstream
+
+    def main():
+        yield env.process(driver.reconfigure_app(app_bs, 0, HllApp()))
+
+    env.process(main())
+    with pytest.raises(ReconfigError, match="linked against a different shell"):
+        env.run()
+
+
+def test_app_requiring_missing_service_rejected_at_load():
+    env = Environment()
+    shell = Shell(
+        env, ShellConfig(num_vfpgas=1, services=ServiceConfig(en_memory=False))
+    )
+    app = PassThroughApp(stream=__import__("repro").StreamType.CARD)  # needs memory
+    with pytest.raises(ReconfigError, match="requires services"):
+        shell.load_app(0, app)
+
+
+def test_shell_reconfig_swaps_services_and_apps():
+    env = Environment()
+    shell = Shell(env, ShellConfig(num_vfpgas=2))
+    driver = Driver(env, shell)
+    shell.load_app(0, AesEcbApp())
+    old_id = shell.shell_id
+    flow = BuildFlow("u55c")
+    new_services = ServiceConfig(
+        en_memory=False, mmu=MmuConfig(tlb=TlbConfig(page_size=PAGE_1G))
+    )
+    result = flow.shell_flow(new_services, ["passthrough"])
+
+    def main():
+        start = env.now
+        yield env.process(
+            driver.reconfigure_shell(result.bitstream, new_services, [PassThroughApp(), None])
+        )
+        return env.now - start
+
+    elapsed_ns = env.run(env.process(main()))
+    assert shell.shell_id != old_id
+    assert shell.config.service_names == new_services.service_names
+    assert isinstance(shell.vfpgas[0].app, PassThroughApp)
+    assert shell.vfpgas[1].app is None
+    assert shell.dynamic.hbm is None  # memory service removed
+    # Table 3 scale: total latency in the hundreds of ms, far below Vivado.
+    assert 200e6 < elapsed_ns < 2e9
+
+
+def test_shell_reconfig_wrong_kind_rejected():
+    env = Environment()
+    shell = Shell(env, ShellConfig())
+    bs = Bitstream(kind=BitstreamKind.APP, target_region="vfpga0", size_bytes=100)
+
+    def main():
+        yield env.process(shell.reconfigure_shell(bs, ServiceConfig()))
+
+    env.process(main())
+    with pytest.raises(ReconfigError):
+        env.run()
+
+
+def test_shell_reconfig_wrong_device_rejected():
+    env = Environment()
+    shell = Shell(env, ShellConfig(device="u55c"))
+    bs = Bitstream(
+        kind=BitstreamKind.SHELL, target_region="shell", size_bytes=100, device="u250"
+    )
+
+    def main():
+        yield env.process(shell.reconfigure_shell(bs, ServiceConfig()))
+
+    env.process(main())
+    with pytest.raises(ReconfigError, match="u250"):
+        env.run()
+
+
+def test_shell_remains_usable_after_reconfig():
+    """End-to-end: reconfigure, then run a transfer on the new shell."""
+    from repro import CThread, LocalSg, Oper, SgEntry
+
+    env = Environment()
+    shell = Shell(env, ShellConfig(num_vfpgas=1))
+    driver = Driver(env, shell)
+    flow = BuildFlow("u55c")
+    new_services = ServiceConfig(en_memory=False)
+    result = flow.shell_flow(new_services, ["passthrough"])
+
+    def main():
+        yield env.process(
+            driver.reconfigure_shell(result.bitstream, new_services, [PassThroughApp()])
+        )
+        ct = CThread(driver, 0, pid=50)
+        src = yield from ct.get_mem(4096)
+        dst = yield from ct.get_mem(4096)
+        ct.write_buffer(src.vaddr, b"post-reconfig" + bytes(4083))
+        sg = SgEntry(local=LocalSg(src_addr=src.vaddr, src_len=4096,
+                                   dst_addr=dst.vaddr, dst_len=4096))
+        yield from ct.invoke(Oper.LOCAL_TRANSFER, sg)
+        return ct.read_buffer(dst.vaddr, 13)
+
+    assert env.run(env.process(main())) == b"post-reconfig"

@@ -1,0 +1,112 @@
+"""Property-based reliability tests: random loss, intact delivery.
+
+The invariant both reliable transports must uphold: under arbitrary
+packet-loss patterns (below livelock rates), the receiver ends up with
+exactly the bytes the sender submitted — no loss, no duplication, no
+reordering visible to the application.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mem import SparseMemory
+from repro.net import Cmac, MacAddress, RdmaConfig, RdmaStack, Switch
+from repro.net.tcp import TcpPacket, TcpStack
+from repro.sim import Environment
+
+
+def rdma_pair(env, switch, config=None):
+    stacks = []
+    memories = []
+    for i, (mac_val, ip) in enumerate([(0x02_00_0D01, 0xA000001), (0x02_00_0D02, 0xA000002)]):
+        mac = MacAddress(mac_val)
+        cmac = Cmac(env, name=f"n{i}")
+        switch.attach(mac, cmac)
+        stack = RdmaStack(env, cmac, mac, ip, config or RdmaConfig(), name=f"n{i}")
+        memory = SparseMemory(1 << 22)
+
+        def read_local(vaddr, length, memory=memory):
+            yield env.timeout(length / 12.0)
+            return memory.read(vaddr, length)
+
+        def write_local(vaddr, data, length, memory=memory):
+            yield env.timeout(length / 12.0)
+            if data is not None:
+                memory.write(vaddr, data)
+
+        stack.bind_memory(read_local, write_local)
+        stacks.append(stack)
+        memories.append(memory)
+    qa = stacks[0].create_qp(1, psn=3)
+    qb = stacks[1].create_qp(2, psn=8)
+    qa.connect(qb.local)
+    qb.connect(qa.local)
+    return stacks, memories
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    drop_pct=st.integers(min_value=0, max_value=20),
+    nbytes=st.integers(min_value=1, max_value=40_000),
+)
+def test_rdma_write_survives_random_loss(seed, drop_pct, nbytes):
+    env = Environment()
+    switch = Switch(env)
+    stacks, memories = rdma_pair(env, switch, RdmaConfig(retransmit_timeout_ns=50_000))
+    rng = random.Random(seed)
+    switch.drop_fn = lambda pkt: rng.randrange(100) < drop_pct
+    payload = bytes(rng.randrange(256) for _ in range(min(nbytes, 4096))) * (
+        max(1, nbytes // 4096)
+    )
+    payload = payload[:nbytes]
+    memories[0].write(0, payload)
+
+    def proc():
+        yield from stacks[0].rdma_write(1, 0, 0x1000, len(payload))
+
+    env.run(env.process(proc()))
+    assert memories[1].read(0x1000, len(payload)) == payload
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    drop_pct=st.integers(min_value=0, max_value=15),
+    nbytes=st.integers(min_value=1, max_value=30_000),
+)
+def test_tcp_stream_survives_random_loss(seed, drop_pct, nbytes):
+    env = Environment()
+    switch = Switch(env)
+    mac_a, mac_b = MacAddress(0x02_00_0E01), MacAddress(0x02_00_0E02)
+    cmac_a, cmac_b = Cmac(env, "a"), Cmac(env, "b")
+    switch.attach(mac_a, cmac_a)
+    switch.attach(mac_b, cmac_b)
+    a = TcpStack(env, cmac_a, mac_a, 0xA000001, retransmit_timeout_ns=80_000)
+    b = TcpStack(env, cmac_b, mac_b, 0xA000002, retransmit_timeout_ns=80_000)
+    rng = random.Random(seed)
+    # Never drop handshake segments (a lost SYN just retries forever in
+    # this offload stack; the property under test is the data path).
+    switch.drop_fn = lambda pkt: (
+        isinstance(pkt, TcpPacket)
+        and bool(pkt.payload)
+        and rng.randrange(100) < drop_pct
+    )
+    payload = bytes(rng.randrange(256) for _ in range(nbytes))
+    b.listen(80)
+    received = {}
+
+    def client():
+        conn = yield from a.connect(mac_b, 0xA000002, 80, 5000)
+        yield from conn.send(payload)
+
+    def server():
+        conn = yield from b.accept(80)
+        received["data"] = yield from conn.recv(len(payload))
+
+    env.process(client())
+    server_proc = env.process(server())
+    env.run(server_proc)
+    assert received["data"] == payload

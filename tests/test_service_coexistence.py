@@ -1,0 +1,90 @@
+"""TCP and RDMA sharing one CMAC through the protocol demux."""
+
+import pytest
+
+from repro import (
+    CThread,
+    Driver,
+    Environment,
+    Oper,
+    RdmaSg,
+    ServiceConfig,
+    SgEntry,
+    Shell,
+    ShellConfig,
+)
+from repro.net import MacAddress, Switch
+from repro.sim import AllOf
+
+BOTH = ServiceConfig(en_memory=True, en_rdma=True, en_tcp=True)
+
+
+def make_pair():
+    env = Environment()
+    switch = Switch(env)
+    mac_a, mac_b = MacAddress(0x02_0000_0C01), MacAddress(0x02_0000_0C02)
+    shell_a = Shell(env, ShellConfig(num_vfpgas=1, services=BOTH),
+                    switch=switch, mac=mac_a, ip=0x0A000001)
+    shell_b = Shell(env, ShellConfig(num_vfpgas=1, services=BOTH),
+                    switch=switch, mac=mac_b, ip=0x0A000002)
+    return env, switch, (shell_a, Driver(env, shell_a), mac_a), (shell_b, Driver(env, shell_b), mac_b)
+
+
+def test_service_names_include_both():
+    assert {"rdma", "tcp"} <= BOTH.service_names
+
+
+def test_concurrent_tcp_and_rdma_on_one_cmac():
+    env, switch, (sa, da, mac_a), (sb, db, mac_b) = make_pair()
+    tcp_payload = b"tcp side " * 1000
+    rdma_payload = bytes(range(256)) * 256
+    results = {}
+
+    # TCP endpoints.
+    sb.dynamic.tcp.listen(80)
+
+    def tcp_server():
+        conn = yield from sb.dynamic.tcp.accept(80)
+        results["tcp"] = yield from conn.recv(len(tcp_payload))
+
+    def tcp_client():
+        conn = yield from sa.dynamic.tcp.connect(mac_b, 0x0A000002, 80, 5000)
+        yield from conn.send(tcp_payload)
+
+    # RDMA endpoints on the same cards, same CMACs.
+    ct_a = CThread(da, 0, pid=1)
+    ct_b = CThread(db, 0, pid=2)
+    qa = ct_a.create_qp(1, psn=5)
+    qb = ct_b.create_qp(2, psn=9)
+    qa.connect(qb.local)
+    qb.connect(qa.local)
+
+    def rdma_flow():
+        src = yield from ct_a.get_mem(len(rdma_payload))
+        dst = yield from ct_b.get_mem(len(rdma_payload))
+        ct_a.write_buffer(src.vaddr, rdma_payload)
+        yield from ct_a.invoke(
+            Oper.REMOTE_RDMA_WRITE,
+            SgEntry(rdma=RdmaSg(local_addr=src.vaddr, remote_addr=dst.vaddr,
+                                len=len(rdma_payload), qpn=1)),
+        )
+        results["rdma"] = ct_b.read_buffer(dst.vaddr, len(rdma_payload))
+
+    procs = [
+        env.process(tcp_server()),
+        env.process(tcp_client()),
+        env.process(rdma_flow()),
+    ]
+    env.run(AllOf(env, procs))
+    assert results["tcp"] == tcp_payload
+    assert results["rdma"] == rdma_payload
+    # Both protocols actually used the shared port.
+    assert sa.dynamic.rdma.stats["tx_packets"] > 0
+    assert sa.dynamic.tcp.stats["tx"] > 0
+
+
+def test_switch_detach_validation():
+    env = Environment()
+    switch = Switch(env)
+    with pytest.raises(ValueError):
+        switch.detach(MacAddress(1))

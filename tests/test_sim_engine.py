@@ -1,0 +1,258 @@
+"""Unit tests for the discrete-event simulation engine."""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Interrupt,
+    SimulationError,
+)
+
+
+def test_timeout_advances_time():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(10)
+        assert env.now == 10
+        yield env.timeout(5)
+        return env.now
+
+    p = env.process(proc())
+    result = env.run(p)
+    assert result == 15
+    assert env.now == 15
+
+
+def test_timeout_value_passthrough():
+    env = Environment()
+
+    def proc():
+        value = yield env.timeout(1, value="hello")
+        return value
+
+    assert env.run(env.process(proc())) == "hello"
+
+
+def test_negative_delay_rejected():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.timeout(-1)
+
+
+def test_events_fire_in_time_order():
+    env = Environment()
+    order = []
+
+    def proc(delay, tag):
+        yield env.timeout(delay)
+        order.append(tag)
+
+    env.process(proc(30, "c"))
+    env.process(proc(10, "a"))
+    env.process(proc(20, "b"))
+    env.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_simultaneous_events_fifo_order():
+    env = Environment()
+    order = []
+
+    def proc(tag):
+        yield env.timeout(5)
+        order.append(tag)
+
+    for tag in range(8):
+        env.process(proc(tag))
+    env.run()
+    assert order == list(range(8))
+
+
+def test_process_waits_on_event():
+    env = Environment()
+    gate = env.event()
+    log = []
+
+    def waiter():
+        value = yield gate
+        log.append((env.now, value))
+
+    def opener():
+        yield env.timeout(42)
+        gate.succeed("open")
+
+    env.process(waiter())
+    env.process(opener())
+    env.run()
+    assert log == [(42, "open")]
+
+
+def test_event_failure_propagates_into_process():
+    env = Environment()
+    gate = env.event()
+
+    def waiter():
+        try:
+            yield gate
+        except ValueError as exc:
+            return f"caught {exc}"
+
+    def failer():
+        yield env.timeout(1)
+        gate.fail(ValueError("boom"))
+
+    p = env.process(waiter())
+    env.process(failer())
+    assert env.run(p) == "caught boom"
+
+
+def test_unhandled_process_exception_raises_from_run():
+    env = Environment()
+
+    def bad():
+        yield env.timeout(1)
+        raise RuntimeError("kernel panic")
+
+    env.process(bad())
+    with pytest.raises(RuntimeError, match="kernel panic"):
+        env.run()
+
+
+def test_run_until_time_stops_exactly():
+    env = Environment()
+    hits = []
+
+    def ticker():
+        while True:
+            yield env.timeout(10)
+            hits.append(env.now)
+
+    env.process(ticker())
+    env.run(until=35)
+    assert hits == [10, 20, 30]
+    assert env.now == 35
+
+
+def test_run_until_event_returns_value():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(3)
+        return 99
+
+    assert env.run(env.process(proc())) == 99
+
+
+def test_run_until_event_deadlock_detected():
+    env = Environment()
+    never = env.event()
+
+    def proc():
+        yield never
+
+    p = env.process(proc())
+    with pytest.raises(SimulationError, match="deadlock"):
+        env.run(p)
+
+
+def test_interrupt_delivers_cause():
+    env = Environment()
+    caught = []
+
+    def victim():
+        try:
+            yield env.timeout(100)
+        except Interrupt as intr:
+            caught.append((env.now, intr.cause))
+
+    def attacker(target):
+        yield env.timeout(7)
+        target.interrupt("preempted")
+
+    v = env.process(victim())
+    env.process(attacker(v))
+    env.run()
+    assert caught == [(7, "preempted")]
+
+
+def test_interrupted_process_can_wait_again():
+    env = Environment()
+
+    def victim():
+        try:
+            yield env.timeout(100)
+        except Interrupt:
+            pass
+        yield env.timeout(5)
+        return env.now
+
+    def attacker(target):
+        yield env.timeout(10)
+        target.interrupt()
+
+    v = env.process(victim())
+    env.process(attacker(v))
+    assert env.run(v) == 15
+
+
+def test_all_of_waits_for_every_event():
+    env = Environment()
+
+    def proc():
+        t1 = env.timeout(5, value="a")
+        t2 = env.timeout(9, value="b")
+        results = yield AllOf(env, [t1, t2])
+        return (env.now, sorted(results.values()))
+
+    assert env.run(env.process(proc())) == (9, ["a", "b"])
+
+
+def test_any_of_returns_on_first():
+    env = Environment()
+
+    def proc():
+        t1 = env.timeout(5, value="fast")
+        t2 = env.timeout(9, value="slow")
+        results = yield AnyOf(env, [t1, t2])
+        return (env.now, list(results.values()))
+
+    assert env.run(env.process(proc())) == (5, ["fast"])
+
+
+def test_all_of_empty_triggers_immediately():
+    env = Environment()
+
+    def proc():
+        results = yield AllOf(env, [])
+        return results
+
+    assert env.run(env.process(proc())) == {}
+
+
+def test_process_is_alive_lifecycle():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(10)
+
+    p = env.process(proc())
+    assert p.is_alive
+    env.run()
+    assert not p.is_alive
+
+
+def test_run_into_past_rejected():
+    env = Environment()
+    env.run(until=10)
+    with pytest.raises(SimulationError):
+        env.run(until=5)
+
+
+def test_peek_reports_next_event_time():
+    env = Environment()
+    assert env.peek == float("inf")
+    env.timeout(12)
+    assert env.peek == 12

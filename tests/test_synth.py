@@ -1,0 +1,178 @@
+"""Tests for the synthesis model: netlists, flows, bitstream sizes."""
+
+import pytest
+
+from repro.core import DEVICES, Floorplan, ServiceConfig
+from repro.core.reconfig import COYOTE_ICAP, IcapController
+from repro.mem import MmuConfig, TlbConfig
+from repro.mem.tlb import PAGE_1G, PAGE_2M
+from repro.synth import (
+    MODULE_LIBRARY,
+    BuildFlow,
+    NetlistError,
+    ResourceVector,
+    get_module,
+    modules_for_services,
+    total_resources,
+    utilization_report,
+)
+
+
+# ---------------------------------------------------------------- resources
+
+def test_resource_vector_add_and_scale():
+    a = ResourceVector(luts=100, ffs=200, brams=2)
+    b = ResourceVector(luts=50, dsps=8)
+    total = a + b
+    assert total.luts == 150
+    assert total.dsps == 8
+    assert total.scale(2).luts == 300
+
+
+def test_fraction_of_device():
+    device = DEVICES["u55c"]
+    vec = ResourceVector(luts=device.luts // 10)
+    assert vec.fraction_of(device)["luts"] == pytest.approx(0.1)
+
+
+def test_utilization_report_mentions_all_kinds():
+    report = utilization_report(ResourceVector(luts=1000), DEVICES["u55c"])
+    for kind in ("luts", "ffs", "brams", "urams", "dsps"):
+        assert kind in report
+
+
+# ------------------------------------------------------------------ netlist
+
+def test_library_covers_all_shell_services():
+    for name in ("dyn_base", "mmu_2m", "mmu_1g", "hbm_ctrl", "rdma_stack", "cmac", "sniffer"):
+        assert name in MODULE_LIBRARY
+
+
+def test_unknown_module_raises():
+    with pytest.raises(NetlistError):
+        get_module("flux_capacitor")
+
+
+def test_modules_for_services_tracks_config():
+    base = modules_for_services(ServiceConfig(en_memory=False))
+    with_mem = modules_for_services(ServiceConfig(en_memory=True))
+    with_rdma = modules_for_services(ServiceConfig(en_memory=True, en_rdma=True))
+    names = lambda mods: {m.name for m in mods}
+    assert "hbm_ctrl" not in names(base)
+    assert "hbm_ctrl" in names(with_mem)
+    assert {"rdma_stack", "cmac"} <= names(with_rdma)
+
+
+def test_mmu_variant_follows_page_size():
+    cfg_1g = ServiceConfig(mmu=MmuConfig(tlb=TlbConfig(page_size=PAGE_1G)))
+    assert "mmu_1g" in {m.name for m in modules_for_services(cfg_1g)}
+
+
+# -------------------------------------------------------------------- flows
+
+SCENARIOS = [
+    # (services, apps) — the three configs of Figure 7(b) / Table 3.
+    (ServiceConfig(en_memory=False, mmu=MmuConfig(tlb=TlbConfig(page_size=PAGE_1G))),
+     ["passthrough"]),
+    (ServiceConfig(en_memory=True), ["vadd", "vmul"]),
+    (ServiceConfig(en_memory=True, en_rdma=True), ["aes_cbc"]),
+]
+
+
+def test_app_flow_savings_in_paper_band():
+    """Figure 7(b): app flow reduces build time by 15-20%."""
+    flow = BuildFlow("u55c")
+    for services, apps in SCENARIOS:
+        shell = flow.shell_flow(services, apps)
+        app = flow.app_flow(shell.checkpoint, apps)
+        savings = 1.0 - app.seconds / shell.seconds
+        assert 0.13 <= savings <= 0.22, f"savings {savings:.2%} outside band"
+
+
+def test_build_times_increase_with_complexity():
+    flow = BuildFlow("u55c")
+    times = [flow.shell_flow(svc, apps).seconds for svc, apps in SCENARIOS]
+    assert times[0] < times[1] < times[2]
+
+
+def test_table3_kernel_latencies_match_paper():
+    """Bitstream sizes imply Table 3's kernel latencies within 10%."""
+    flow = BuildFlow("u55c")
+    paper_ms = [51.6, 72.3, 85.5]
+    for (services, apps), expected in zip(SCENARIOS, paper_ms):
+        bs = flow.shell_flow(services, apps).bitstream
+        kernel_ms = COYOTE_ICAP.program_time_ns(bs.size_bytes) / 1e6
+        assert kernel_ms == pytest.approx(expected, rel=0.10)
+
+
+def test_table3_total_latencies_match_paper():
+    flow = BuildFlow("u55c")
+    paper_ms = [536.2, 709.0, 929.1]
+    for (services, apps), expected in zip(SCENARIOS, paper_ms):
+        bs = flow.shell_flow(services, apps).bitstream
+        total_ms = (
+            COYOTE_ICAP.program_time_ns(bs.size_bytes)
+            + IcapController.host_overhead_ns(bs)
+        ) / 1e6
+        assert total_ms == pytest.approx(expected, rel=0.10)
+
+
+def test_bitstream_sizes_are_tens_of_megabytes():
+    """Paper: "bitstreams are not too large (tens of MBs)"."""
+    flow = BuildFlow("u55c")
+    for services, apps in SCENARIOS:
+        size = flow.shell_flow(services, apps).bitstream.size_bytes
+        assert 10e6 < size < 100e6
+
+
+def test_app_bitstream_linked_to_checkpoint():
+    flow = BuildFlow("u55c")
+    shell = flow.shell_flow(ServiceConfig(), ["passthrough"])
+    app = flow.app_flow(shell.checkpoint, ["hll"])
+    assert app.bitstream.kind == "app"
+    assert app.bitstream.linked_shell == shell.checkpoint.shell_id
+
+
+def test_app_flow_rejects_foreign_checkpoint():
+    flow_u55c = BuildFlow("u55c")
+    flow_u250 = BuildFlow("u250")
+    checkpoint = flow_u55c.shell_flow(ServiceConfig(), []).checkpoint
+    with pytest.raises(ValueError, match="u55c"):
+        flow_u250.app_flow(checkpoint, ["hll"])
+
+
+def test_full_flow_includes_static_layer():
+    flow = BuildFlow("u55c")
+    services = ServiceConfig()
+    full = flow.full_flow(services, ["passthrough"])
+    shell = flow.shell_flow(services, ["passthrough"])
+    assert full.resources.luts > shell.resources.luts
+    assert full.bitstream.kind == "full"
+    assert full.bitstream.size_bytes > shell.bitstream.size_bytes
+
+
+def test_hll_shell_utilization_around_ten_percent():
+    """Figure 11: base shell + HLL kernel uses ~10% of the device."""
+    flow = BuildFlow("u55c")
+    result = flow.shell_flow(ServiceConfig(en_memory=False), ["hll"])
+    frac = result.resources.fraction_of(DEVICES["u55c"])["luts"]
+    assert 0.07 < frac < 0.14
+
+
+# ---------------------------------------------------------------- floorplan
+
+def test_floorplan_partitions_device():
+    plan = Floorplan(DEVICES["u55c"], app_regions=4)
+    assert plan.static_region.luts + plan.shell_region.luts == pytest.approx(
+        DEVICES["u55c"].luts, abs=2
+    )
+    assert plan.app_region(0).luts > 0
+    with pytest.raises(IndexError):
+        plan.app_region(4)
+
+
+def test_floorplan_validation():
+    with pytest.raises(ValueError):
+        Floorplan(DEVICES["u55c"], static_fraction=0.0)
+    with pytest.raises(ValueError):
+        Floorplan(DEVICES["u55c"], app_regions=100, app_fraction_each=0.05)

@@ -1,0 +1,67 @@
+"""Tests for the tracing and statistics utilities."""
+
+import pytest
+
+from repro.sim import LatencyStats, ThroughputMeter, Tracer, mean_std
+
+
+def test_tracer_records_and_filters():
+    tracer = Tracer()
+    tracer.emit(1.0, "mmu", "hit")
+    tracer.emit(2.0, "mmu", "miss", payload={"vaddr": 0x1000})
+    tracer.emit(3.0, "xdma", "dma")
+    assert len(tracer.records) == 3
+    assert len(tracer.filter(source="mmu")) == 2
+    assert len(tracer.filter(kind="miss")) == 1
+    assert tracer.filter(source="mmu", kind="miss")[0].payload == {"vaddr": 0x1000}
+    tracer.clear()
+    assert tracer.records == []
+
+
+def test_tracer_disabled_drops_records():
+    tracer = Tracer(enabled=False)
+    tracer.emit(1.0, "a", "b")
+    assert tracer.records == []
+
+
+def test_throughput_meter():
+    meter = ThroughputMeter("host")
+    meter.record(1000, start=0.0, end=100.0)
+    meter.record(1000, start=100.0, end=200.0)
+    assert meter.total_bytes == 2000
+    assert meter.elapsed_ns == 200.0
+    assert meter.gbps == pytest.approx(10.0)
+    assert meter.mbps == pytest.approx(10_000.0)
+
+
+def test_throughput_meter_empty():
+    meter = ThroughputMeter()
+    assert meter.gbps == 0.0
+    assert meter.elapsed_ns == 0.0
+
+
+def test_latency_stats():
+    stats = LatencyStats("walk")
+    for v in (10.0, 20.0, 30.0, 40.0):
+        stats.record(v)
+    assert stats.count == 4
+    assert stats.mean == pytest.approx(25.0)
+    assert stats.std == pytest.approx(12.909, rel=1e-3)
+    assert stats.percentile(0) == 10.0
+    assert stats.percentile(100) == 40.0
+    assert stats.percentile(50) in (20.0, 30.0)
+
+
+def test_latency_stats_empty():
+    stats = LatencyStats()
+    assert stats.mean == 0.0
+    assert stats.std == 0.0
+    assert stats.percentile(99) == 0.0
+
+
+def test_mean_std():
+    mean, std = mean_std([1.0, 2.0, 3.0])
+    assert mean == pytest.approx(2.0)
+    assert std == pytest.approx(1.0)
+    assert mean_std([]) == (0.0, 0.0)
+    assert mean_std([5.0]) == (5.0, 0.0)
