@@ -35,6 +35,7 @@ from .core import (
     VFpgaConfig,
 )
 from .driver import Driver
+from .faults import FaultInjector, FaultPlan, FaultRule, RetryPolicy
 from .mem import AllocType, MemLocation, TlbConfig
 from .sim import Environment
 
@@ -65,5 +66,9 @@ __all__ = [
     "TlbConfig",
     "Bitstream",
     "BitstreamKind",
+    "FaultPlan",
+    "FaultRule",
+    "FaultInjector",
+    "RetryPolicy",
     "__version__",
 ]

@@ -15,10 +15,18 @@ from __future__ import annotations
 import itertools
 from typing import Generator, Optional
 
-from ..core.interfaces import Descriptor, LocalSg, Oper, RdmaSg, SgEntry, StreamType
+from ..core.interfaces import (
+    CompletionEntry,
+    Descriptor,
+    LocalSg,
+    Oper,
+    RdmaSg,
+    SgEntry,
+    StreamType,
+)
 from ..driver.driver import Driver, ProcessContext
 from ..mem.allocator import Allocation, AllocType
-from ..sim.engine import Environment
+from ..sim.engine import AnyOf, Environment
 
 __all__ = ["CThread"]
 
@@ -99,14 +107,25 @@ class CThread:
 
     # ---------------------------------------------------------------- invoke
 
-    def invoke(self, oper: Oper, sg: SgEntry, last: bool = True) -> Generator:
-        """Launch a hardware operation and wait for its completion."""
+    def invoke(
+        self,
+        oper: Oper,
+        sg: SgEntry,
+        last: bool = True,
+        timeout_ns: Optional[float] = None,
+    ) -> Generator:
+        """Launch a hardware operation and wait for its completion.
+
+        With ``timeout_ns`` set, a stuck operation returns a
+        :class:`CompletionEntry` with ``status == "timeout"`` instead of
+        blocking forever; the default (``None``) waits indefinitely.
+        """
         if oper is Oper.LOCAL_TRANSFER:
-            yield from self._local_transfer(sg.local)
+            return (yield from self._local_transfer(sg.local, timeout_ns))
         elif oper is Oper.LOCAL_READ:
-            yield from self._local_read(sg.local)
+            return (yield from self._local_read(sg.local, timeout_ns))
         elif oper is Oper.LOCAL_WRITE:
-            yield from self._local_write(sg.local)
+            return (yield from self._local_write(sg.local, timeout_ns))
         elif oper is Oper.LOCAL_OFFLOAD:
             yield self.env.process(
                 self.driver.offload(self.pid, sg.local.src_addr, sg.local.src_len)
@@ -116,9 +135,9 @@ class CThread:
                 self.driver.sync(self.pid, sg.local.src_addr, sg.local.src_len)
             )
         elif oper is Oper.REMOTE_RDMA_WRITE:
-            yield from self._rdma(sg.rdma, write=True)
+            return (yield from self._rdma(sg.rdma, write=True, timeout_ns=timeout_ns))
         elif oper is Oper.REMOTE_RDMA_READ:
-            yield from self._rdma(sg.rdma, write=False)
+            return (yield from self._rdma(sg.rdma, write=False, timeout_ns=timeout_ns))
         elif oper is Oper.NOOP:
             yield self.env.timeout(0)
         else:
@@ -144,17 +163,48 @@ class CThread:
     def _writeback_enabled(self) -> bool:
         return self.driver.shell.config.services.mover.writeback
 
-    def _await_completion(self, event) -> Generator:
+    def _timeout_entry(self, write: bool, wr_id: int, stream: StreamType) -> CompletionEntry:
+        """Give up on a completion: deregister it and report the error."""
+        self.ctx.pending.pop((write, wr_id), None)
+        self.driver.invoke_timeouts += 1
+        return CompletionEntry(
+            vfpga_id=self.vfpga_id,
+            pid=self.pid,
+            wr_id=wr_id,
+            length=0,
+            stream=stream,
+            dest=self.stream_dest,
+            timestamp_ns=self.env.now,
+            status="timeout",
+        )
+
+    def _await_completion(
+        self,
+        event,
+        write: bool,
+        wr_id: int,
+        stream: StreamType,
+        timeout_ns: Optional[float] = None,
+    ) -> Generator:
         """Writeback mode: sleep until the driver resolves the completion
-        event.  Polling mode: spin on MMIO until it resolved."""
+        event.  Polling mode: spin on MMIO until it resolved.  Either way
+        a ``timeout_ns`` deadline yields an error completion, not a hang."""
         if self._writeback_enabled():
-            entry = yield event
-            return entry
+            if timeout_ns is None:
+                entry = yield event
+                return entry
+            yield AnyOf(self.env, [event, self.env.timeout(timeout_ns)])
+            if event.triggered:
+                return event.value
+            return self._timeout_entry(write, wr_id, stream)
+        deadline = None if timeout_ns is None else self.env.now + timeout_ns
         while not event.triggered:
+            if deadline is not None and self.env.now >= deadline:
+                return self._timeout_entry(write, wr_id, stream)
             yield self.env.timeout(POLL_INTERVAL_NS + CSR_READ_NS)
         return event.value
 
-    def _local_transfer(self, sg: LocalSg) -> Generator:
+    def _local_transfer(self, sg: LocalSg, timeout_ns: Optional[float] = None) -> Generator:
         """Read src into the kernel, collect kernel output into dst."""
         wr_id = next(_wr_ids)
         done = self.ctx.expect(self.env, write=True, wr_id=wr_id)
@@ -168,9 +218,11 @@ class CThread:
                              sg.dst_dest or self.stream_dest, wr_id),
             write=True,
         )
-        yield from self._await_completion(done)
+        return (yield from self._await_completion(
+            done, True, wr_id, sg.dst_stream, timeout_ns
+        ))
 
-    def _local_read(self, sg: LocalSg) -> Generator:
+    def _local_read(self, sg: LocalSg, timeout_ns: Optional[float] = None) -> Generator:
         wr_id = next(_wr_ids)
         done = self.ctx.expect(self.env, write=False, wr_id=wr_id)
         self.driver.post_descriptor(
@@ -178,9 +230,11 @@ class CThread:
                              sg.src_dest or self.stream_dest, wr_id),
             write=False,
         )
-        yield from self._await_completion(done)
+        return (yield from self._await_completion(
+            done, False, wr_id, sg.src_stream, timeout_ns
+        ))
 
-    def _local_write(self, sg: LocalSg) -> Generator:
+    def _local_write(self, sg: LocalSg, timeout_ns: Optional[float] = None) -> Generator:
         wr_id = next(_wr_ids)
         done = self.ctx.expect(self.env, write=True, wr_id=wr_id)
         self.driver.post_descriptor(
@@ -188,16 +242,30 @@ class CThread:
                              sg.dst_dest or self.stream_dest, wr_id),
             write=True,
         )
-        yield from self._await_completion(done)
+        return (yield from self._await_completion(
+            done, True, wr_id, sg.dst_stream, timeout_ns
+        ))
 
-    def _rdma(self, sg: RdmaSg, write: bool) -> Generator:
+    def _rdma(self, sg: RdmaSg, write: bool, timeout_ns: Optional[float] = None) -> Generator:
         stack = self.driver.shell.dynamic.rdma
         if stack is None:
             raise ValueError("shell has no RDMA service")
         verb = stack.rdma_write if write else stack.rdma_read
-        yield self.env.process(
-            verb(sg.qpn, sg.local_addr, sg.remote_addr, sg.len, wr_id=next(_wr_ids))
+        wr_id = next(_wr_ids)
+        proc = self.env.process(
+            verb(sg.qpn, sg.local_addr, sg.remote_addr, sg.len, wr_id=wr_id)
         )
+        if timeout_ns is None:
+            yield proc
+            return None
+        yield AnyOf(self.env, [proc, self.env.timeout(timeout_ns)])
+        if not proc.triggered:
+            # Abort the stuck verb; defuse so the interrupt never
+            # propagates out of the simulation as an unhandled failure.
+            proc._defused = True
+            proc.interrupt("invoke timeout")
+            return self._timeout_entry(write, wr_id, StreamType.NET)
+        return None
 
     # ----------------------------------------------------------------- RDMA
 

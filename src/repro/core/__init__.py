@@ -22,6 +22,7 @@ from .reconfig import (
     MCAP,
     PCAP,
     IcapController,
+    IcapCrcError,
     ReconfigError,
     ReconfigPort,
     VivadoHwManager,
@@ -63,6 +64,7 @@ __all__ = [
     "Device",
     "DEVICES",
     "IcapController",
+    "IcapCrcError",
     "ReconfigPort",
     "ReconfigError",
     "VivadoHwManager",

@@ -78,6 +78,9 @@ class CompletionEntry:
     stream: StreamType
     dest: int
     timestamp_ns: float = 0.0
+    #: "success", or an error code such as "timeout" — a stuck operation
+    #: surfaces as an error completion instead of hanging its cThread.
+    status: str = "success"
 
 
 @dataclass

@@ -26,6 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Generator, Optional
 
+from ..faults.plan import ICAP_CRC
 from ..pcie.xdma import MsiVector, Xdma
 from ..sim.engine import Environment
 from ..sim.resources import Resource
@@ -40,11 +41,20 @@ __all__ = [
     "COYOTE_ICAP",
     "VivadoHwManager",
     "ReconfigError",
+    "IcapCrcError",
 ]
 
 
 class ReconfigError(Exception):
     """Invalid reconfiguration request (e.g. app linked to another shell)."""
+
+
+class IcapCrcError(ReconfigError):
+    """The ICAP rejected a partial bitstream: per-frame CRC mismatch.
+
+    The fabric region is left in an undefined state; the shell must roll
+    back to the last-good bitstream before the vFPGA can be used again.
+    """
 
 
 @dataclass(frozen=True)
@@ -90,6 +100,9 @@ class IcapController:
         self._icap = Resource(env, capacity=1)  # one configuration port
         self.programs = 0
         self.bytes_programmed = 0
+        #: Armed :class:`repro.faults.FaultInjector`, or ``None``.
+        self.faults = None
+        self.crc_failures = 0
 
     def program(self, bitstream: Bitstream, from_host: bool = True) -> Generator:
         """Stream a partial bitstream into the fabric.
@@ -106,6 +119,14 @@ class IcapController:
                 # Pipeline fill: first 4 KB must arrive before ICAP starts.
                 yield self.env.process(self.xdma.read_host(0, 4096, overhead=True))
             yield self.env.timeout(self.port.program_time_ns(bitstream.size_bytes))
+            if self.faults is not None and self.faults.fires(ICAP_CRC, bitstream):
+                # Frame CRC mismatch detected while streaming: the region
+                # is now undefined.  No RECONFIG_DONE interrupt fires.
+                self.crc_failures += 1
+                raise IcapCrcError(
+                    f"CRC mismatch programming {bitstream.kind} bitstream for "
+                    f"{bitstream.target_region!r} ({bitstream.size_bytes} bytes)"
+                )
         finally:
             self._icap.release(grant)
         self.programs += 1

@@ -19,7 +19,7 @@ from .bitstream import Bitstream, BitstreamKind
 from .dynamic_layer import DynamicLayer, ServiceConfig
 from .floorplan import DEVICES, Floorplan
 from .interfaces import Descriptor, StreamType
-from .reconfig import ReconfigError
+from .reconfig import IcapCrcError, ReconfigError
 from .static_layer import StaticLayer
 from .vfpga import UserApp, VFpga, VFpgaConfig
 
@@ -77,8 +77,24 @@ class Shell:
             self._make_vfpga(index)
         self.shell_reconfigs = 0
         self.app_reconfigs = 0
+        #: Armed :class:`repro.faults.FaultInjector`, or ``None``.
+        self.fault_injector = None
+        #: Last successfully programmed (bitstream, app) per vFPGA, the
+        #: rollback target after an ICAP CRC failure.
+        self._last_good_app: Dict[int, Tuple[Bitstream, UserApp]] = {}
+        self.icap_rollbacks = 0
 
     # -------------------------------------------------------------- wiring
+
+    def bind_faults(self, injector) -> None:
+        """Arm a :class:`repro.faults.FaultInjector` on every hardware
+        block of this shell (re-applied automatically after shell swaps)."""
+        self.fault_injector = injector
+        self.static.xdma.faults = injector
+        self.static.xdma.link.faults = injector
+        self.static.icap.faults = injector
+        if self.dynamic.hbm is not None:
+            self.dynamic.hbm.faults = injector
 
     def _make_vfpga(self, index: int) -> VFpga:
         vfpga = VFpga(self.env, index, self.config.vfpga)
@@ -194,9 +210,41 @@ class Shell:
             raise ReconfigError(f"shell lacks services {sorted(missing)}")
         if not 0 <= vfpga_id < len(self.vfpgas):
             raise ReconfigError(f"no vFPGA {vfpga_id}")
-        yield self.env.process(self.static.icap.program(bitstream))
+        try:
+            yield self.env.process(self.static.icap.program(bitstream))
+        except IcapCrcError:
+            # The region is now undefined: restore the last-good bitstream
+            # before surfacing the error (the driver may then retry).
+            yield self.env.process(self._rollback_app(vfpga_id))
+            raise
         self.vfpgas[vfpga_id].load_app(app)
+        self._last_good_app[vfpga_id] = (bitstream, app)
         self.app_reconfigs += 1
+
+    #: Bound on back-to-back CRC failures while restoring a region.
+    _MAX_ROLLBACK_ATTEMPTS = 8
+
+    def _rollback_app(self, vfpga_id: int) -> Generator:
+        """Re-program the last-good bitstream after a CRC failure."""
+        last = self._last_good_app.get(vfpga_id)
+        if last is None:
+            # Nothing to roll back to: leave the region empty (the app was
+            # loaded at initial configuration, which charges no bitstream).
+            self.vfpgas[vfpga_id].unload_app()
+            return
+        bitstream, app = last
+        for _attempt in range(self._MAX_ROLLBACK_ATTEMPTS):
+            try:
+                yield self.env.process(self.static.icap.program(bitstream))
+            except IcapCrcError:
+                continue
+            self.vfpgas[vfpga_id].load_app(app)
+            self.icap_rollbacks += 1
+            return
+        raise ReconfigError(
+            f"vFPGA {vfpga_id}: rollback failed "
+            f"{self._MAX_ROLLBACK_ATTEMPTS} times; region is offline"
+        )
 
     def reconfigure_shell(
         self,
@@ -238,8 +286,13 @@ class Shell:
         )
         self.vfpgas = []
         self.net_bindings.clear()
+        self._last_good_app.clear()
         for index in range(self.config.num_vfpgas):
             self._make_vfpga(index)
+        if self.fault_injector is not None:
+            # The new dynamic layer instantiated fresh hardware (HBM, …):
+            # re-arm the injector on it.
+            self.bind_faults(self.fault_injector)
         if apps is not None:
             for index, app in enumerate(apps):
                 if app is not None:

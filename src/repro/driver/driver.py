@@ -19,13 +19,15 @@ from typing import Callable, Dict, Generator, List, Optional, Tuple
 
 from ..core.bitstream import Bitstream, BitstreamKind
 from ..core.interfaces import CompletionEntry, Descriptor, StreamType
-from ..core.reconfig import IcapController, ReconfigError
+from ..core.reconfig import IcapController, IcapCrcError, ReconfigError
 from ..core.shell import Shell
 from ..core.vfpga import UserApp
+from ..faults.retry import RetryPolicy
 from ..mem.allocator import Allocation, AllocType, FrameAllocator, VirtualAllocator
 from ..mem.mmu import MemLocation, PageTable, PageTableEntry, SegmentationFault
 from ..mem.tlb import PAGE_1G, PAGE_2M, PAGE_4K
-from ..sim.engine import Environment
+from ..pcie.xdma import MsiVector
+from ..sim.engine import AnyOf, Environment, Event
 from ..sim.resources import Store
 
 __all__ = ["Driver", "ProcessContext", "DriverError"]
@@ -35,6 +37,9 @@ ALLOC_LATENCY_PER_PAGE_NS = 800.0
 #: Fixed page-fault service overhead (interrupt + driver entry), on top of
 #: the migration transfer time.
 PAGE_FAULT_OVERHEAD_NS = 12_000.0
+#: How long the driver waits for RECONFIG_DONE before falling back to
+#: polling the ICAP status register (lost-interrupt recovery).
+RECONFIG_IRQ_TIMEOUT_NS = 50_000.0
 
 #: Host physical address regions per page size, so frames never collide.
 _HOST_REGION_4K = (0x0000_0000, 8 << 30)
@@ -74,9 +79,15 @@ class ProcessContext:
 class Driver:
     """One driver instance per card (per :class:`Shell`)."""
 
-    def __init__(self, env: Environment, shell: Shell):
+    def __init__(
+        self,
+        env: Environment,
+        shell: Shell,
+        retry_policy: RetryPolicy = RetryPolicy(),
+    ):
         self.env = env
         self.shell = shell
+        self.retry_policy = retry_policy
         self.processes: Dict[int, ProcessContext] = {}
         # Host frame allocators per page size.
         self._host_frames = {
@@ -91,10 +102,19 @@ class Driver:
         }
         self._card_frames: Optional[FrameAllocator] = None
         self.gpu = None  # attached via attach_gpu()
+        # Registered once: the static layer's XDMA persists across shell
+        # swaps, so re-registering in _bind_shell would duplicate handlers.
+        self._reconfig_done_waiters: List[Event] = []
+        shell.static.xdma.on_interrupt(
+            MsiVector.RECONFIG_DONE, self._on_reconfig_done
+        )
         self._bind_shell()
         self.page_faults = 0
         self.tlb_walks = 0
         self.migrated_bytes = 0
+        self.reconfig_retries = 0
+        self.irq_timeouts = 0
+        self.invoke_timeouts = 0
 
     def attach_gpu(self, gpu) -> None:
         """Register a GPU as a shared-virtual-memory target (§6.1)."""
@@ -148,6 +168,11 @@ class Driver:
                 continue
             target = ctx.completions_wr if write else ctx.completions_rd
             yield target.put(entry)
+
+    def _on_reconfig_done(self, value: int) -> None:
+        waiters, self._reconfig_done_waiters = self._reconfig_done_waiters, []
+        for event in waiters:
+            event.succeed(value)
 
     def _on_user_interrupt(self, value: int) -> None:
         vfpga_id = value >> 32
@@ -468,13 +493,66 @@ class Driver:
     ) -> Generator:
         """App-only PR.  ``cached`` skips the disk read (paper §9.3: keep
         frequently used bitstreams in memory), paying only the
-        copy-to-kernel-space cost — the daemon mode of §9.6 (57 ms)."""
+        copy-to-kernel-space cost — the daemon mode of §9.6 (57 ms).
+
+        A transient ICAP CRC failure (the shell rolls the region back) is
+        retried with capped exponential backoff, re-staging the bitstream
+        into kernel memory each time; only a failure persisting past
+        ``retry_policy.max_retries`` surfaces to the caller.
+        """
         if cached:
             mb = bitstream.size_bytes / 1e6
             yield self.env.timeout(mb / 300.0 * 1e9)  # copy_to_kernel only
         else:
             yield self.env.timeout(IcapController.host_overhead_ns(bitstream))
-        yield self.env.process(self.shell.reconfigure_app(bitstream, vfpga_id, app))
+        attempt = 0
+        while True:
+            try:
+                yield self.env.process(
+                    self._reconfigure_app_once(bitstream, vfpga_id, app)
+                )
+                return
+            except IcapCrcError:
+                if attempt >= self.retry_policy.max_retries:
+                    raise
+                attempt += 1
+                self.reconfig_retries += 1
+                yield from self.retry_policy.sleep(self.env, attempt)
+                mb = bitstream.size_bytes / 1e6
+                yield self.env.timeout(mb / 300.0 * 1e9)  # re-stage in kernel
+
+    def _reconfigure_app_once(
+        self, bitstream: Bitstream, vfpga_id: int, app: UserApp
+    ) -> Generator:
+        """One PR attempt, confirmed by the RECONFIG_DONE interrupt.
+
+        The interrupt normally arrives while the shell call is still in
+        flight (zero added latency).  If the MSI-X message was lost, the
+        driver times out and falls back to one MMIO poll of the ICAP
+        status register — reconfiguration never hangs on a lost interrupt.
+        """
+        waiter = Event(self.env)
+        self._reconfig_done_waiters.append(waiter)
+        try:
+            yield self.env.process(
+                self.shell.reconfigure_app(bitstream, vfpga_id, app)
+            )
+        except BaseException:
+            if waiter in self._reconfig_done_waiters:
+                self._reconfig_done_waiters.remove(waiter)
+            raise
+        if not waiter.triggered:
+            yield AnyOf(
+                self.env, [waiter, self.env.timeout(RECONFIG_IRQ_TIMEOUT_NS)]
+            )
+            if not waiter.triggered:
+                self.irq_timeouts += 1
+                if waiter in self._reconfig_done_waiters:
+                    self._reconfig_done_waiters.remove(waiter)
+                # Poll the ICAP status register over MMIO instead.
+                yield self.env.timeout(
+                    self.shell.static.xdma.config.link.mmio_latency_ns
+                )
 
     # --------------------------------------------------------------- ioctls
 

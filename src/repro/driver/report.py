@@ -16,6 +16,27 @@ from .driver import Driver
 __all__ = ["card_report", "format_report"]
 
 
+def _fault_section(driver: Driver) -> Dict[str, Any]:
+    """Per-domain fault and recovery counters (degraded-mode telemetry)."""
+    shell = driver.shell
+    xdma = shell.static.xdma
+    section: Dict[str, Any] = {
+        "pcie_replays": xdma.link.replays,
+        "msix_lost": xdma.interrupts_lost,
+        "icap_crc_failures": shell.static.icap.crc_failures,
+        "icap_rollbacks": shell.icap_rollbacks,
+        "reconfig_retries": driver.reconfig_retries,
+        "irq_timeouts": driver.irq_timeouts,
+        "invoke_timeouts": driver.invoke_timeouts,
+    }
+    if shell.dynamic.hbm is not None:
+        section["hbm_ecc_corrected"] = shell.dynamic.hbm.ecc_corrected
+        section["hbm_ecc_uncorrected"] = shell.dynamic.hbm.ecc_uncorrected
+    if shell.fault_injector is not None:
+        section["injected"] = shell.fault_injector.summary()
+    return section
+
+
 def card_report(driver: Driver) -> Dict[str, Any]:
     """Collect a structured snapshot of one card's state."""
     shell = driver.shell
@@ -35,6 +56,7 @@ def card_report(driver: Driver) -> Dict[str, Any]:
             "interrupts": xdma.interrupts_raised,
             "writebacks": {name: wb.count for name, wb in xdma.writebacks.items()},
         },
+        "faults": _fault_section(driver),
         "memory": {
             "page_faults": driver.page_faults,
             "tlb_walks": driver.tlb_walks,
@@ -75,6 +97,8 @@ def card_report(driver: Driver) -> Dict[str, Any]:
         report["hbm"] = {
             "bytes_read": shell.dynamic.hbm.bytes_read,
             "bytes_written": shell.dynamic.hbm.bytes_written,
+            "ecc_corrected": shell.dynamic.hbm.ecc_corrected,
+            "ecc_uncorrected": shell.dynamic.hbm.ecc_uncorrected,
         }
     if shell.dynamic.sniffer is not None:
         report["sniffer"] = {

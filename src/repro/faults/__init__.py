@@ -1,0 +1,49 @@
+"""Unified, deterministic fault injection for every shell hardware layer.
+
+Usage::
+
+    from repro.faults import FaultPlan, FaultRule, FaultInjector, NET_DROP
+
+    plan = FaultPlan(seed=7, rules=[FaultRule(site=NET_DROP, probability=0.05)])
+    injector = FaultInjector(plan).arm(shell=shell, switch=switch)
+    ...run the workload...
+    injector.summary()  # per-site events/fires
+
+See :mod:`repro.faults.plan` for the site catalogue and determinism
+contract, and the "Fault injection & reliability" section of DESIGN.md
+for the recovery matrix.
+"""
+
+from .injector import FaultInjector
+from .plan import (
+    FAULT_SITES,
+    HBM_ECC_DOUBLE,
+    HBM_ECC_SINGLE,
+    ICAP_CRC,
+    MSIX_LOSS,
+    NET_CORRUPT,
+    NET_DROP,
+    NET_DUPLICATE,
+    NET_REORDER,
+    PCIE_REPLAY,
+    FaultPlan,
+    FaultRule,
+)
+from .retry import RetryPolicy
+
+__all__ = [
+    "FaultPlan",
+    "FaultRule",
+    "FaultInjector",
+    "RetryPolicy",
+    "FAULT_SITES",
+    "NET_DROP",
+    "NET_CORRUPT",
+    "NET_DUPLICATE",
+    "NET_REORDER",
+    "PCIE_REPLAY",
+    "HBM_ECC_SINGLE",
+    "HBM_ECC_DOUBLE",
+    "ICAP_CRC",
+    "MSIX_LOSS",
+]

@@ -1,0 +1,141 @@
+"""The fault injector: a plan armed against live hardware models.
+
+Every injectable model (switch, PCIe link, XDMA, HBM controller, ICAP)
+carries a ``faults`` attribute, ``None`` by default.  With no injector
+armed a model takes zero extra branches and draws no random numbers, so
+the fault-free simulation is bit-identical to a build without this
+subsystem.  Arming sets the attribute; the model then asks
+``self.faults.fires(SITE, context)`` at each injection point.
+
+Determinism contract: each rule draws from its own RNG substream seeded
+by ``(plan.seed, site, rule index)`` (a stable CRC-32 derivation — no
+``hash()``, which is salted per process).  Two runs with the same
+``(seed, plan)`` therefore fire at exactly the same events, regardless of
+how many other sites are armed or how the simulation interleaves.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from typing import Any, Dict, List, Optional
+
+from .plan import FAULT_SITES, FaultPlan, FaultRule
+
+__all__ = ["FaultInjector"]
+
+
+def _derive_rng(seed: int, site: str, index: int) -> random.Random:
+    """A stable per-rule substream: CRC-32 of the rule's identity mixed
+    with the plan seed (Python's ``hash`` is salted, so it cannot be used
+    for cross-process reproducibility)."""
+    key = zlib.crc32(f"{site}#{index}".encode("ascii"))
+    return random.Random(((seed & 0xFFFFFFFF) << 32) | key)
+
+
+class _RuleState:
+    """Per-rule mutable state: its event counter, fire count and RNG."""
+
+    __slots__ = ("rule", "rng", "events", "fired")
+
+    def __init__(self, rule: FaultRule, rng: random.Random):
+        self.rule = rule
+        self.rng = rng
+        self.events = 0
+        self.fired = 0
+
+    def consider(self, context: Any) -> bool:
+        rule = self.rule
+        if rule.match is not None and not rule.match(context):
+            return False
+        index = self.events
+        self.events += 1
+        if rule.max_fires is not None and self.fired >= rule.max_fires:
+            return False
+        hit = index in rule.at_events
+        # The probability draw happens on every matching event so the
+        # substream position depends only on the event sequence, never on
+        # whether earlier events fired.
+        if rule.probability > 0.0 and self.rng.random() < rule.probability:
+            hit = True
+        if hit:
+            self.fired += 1
+        return hit
+
+
+class FaultInjector:
+    """Arms a :class:`FaultPlan` against shells, switches and clusters.
+
+    Counters (``events``/``fires`` per site) feed ``card_report()`` and
+    the optional :class:`~repro.sim.tracing.Tracer` records every fire,
+    which is what the determinism regression test diffs.
+    """
+
+    def __init__(self, plan: FaultPlan, tracer=None):
+        self.plan = plan
+        self.tracer = tracer
+        self.env = None  # bound on arm(); only needed for trace timestamps
+        self._rules: Dict[str, List[_RuleState]] = {}
+        for index, rule in enumerate(plan.rules):
+            state = _RuleState(rule, _derive_rng(plan.seed, rule.site, index))
+            self._rules.setdefault(rule.site, []).append(state)
+        self.event_counts: Dict[str, int] = {site: 0 for site in self._rules}
+        self.fire_counts: Dict[str, int] = {site: 0 for site in self._rules}
+
+    # ------------------------------------------------------------ injection
+
+    def fires(self, site: str, context: Any = None) -> bool:
+        """Does this site's fault fire for the current event?"""
+        states = self._rules.get(site)
+        if not states:
+            if site not in FAULT_SITES:
+                raise ValueError(f"unknown fault site {site!r}")
+            return False
+        self.event_counts[site] += 1
+        fired = False
+        for state in states:
+            if state.consider(context):
+                fired = True
+        if fired:
+            self.fire_counts[site] += 1
+            if self.tracer is not None:
+                now = self.env.now if self.env is not None else 0.0
+                self.tracer.emit(now, "faults", site, self.event_counts[site] - 1)
+        return fired
+
+    # --------------------------------------------------------------- wiring
+
+    def arm(self, shell=None, switch=None) -> "FaultInjector":
+        """Attach this injector to a shell's hardware models and/or a
+        switch fabric.  Idempotent; call again after a shell swap."""
+        if switch is not None:
+            switch.faults = self
+            if self.env is None:
+                self.env = switch.env
+        if shell is not None:
+            self.env = shell.env
+            shell.bind_faults(self)
+        return self
+
+    def arm_cluster(self, cluster) -> "FaultInjector":
+        """Arm every node of an :class:`repro.cluster.FpgaCluster` plus
+        its shared switch."""
+        self.arm(switch=cluster.switch)
+        for node in cluster.nodes:
+            self.arm(shell=node.shell)
+        return self
+
+    # ---------------------------------------------------------- observability
+
+    def summary(self) -> Dict[str, Dict[str, int]]:
+        """Per-site ``{events, fires}`` — the injector's own ledger."""
+        return {
+            site: {"events": self.event_counts[site], "fires": self.fire_counts[site]}
+            for site in sorted(self._rules)
+        }
+
+    def total_fires(self) -> int:
+        return sum(self.fire_counts.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FaultInjector({self.plan.describe()}, fires={dict(self.fire_counts)})"

@@ -1,0 +1,159 @@
+"""Fault plans: *what* goes wrong, *where*, and — deterministically — *when*.
+
+The paper evaluates Coyote v2 on real hardware, where links flap, HBM
+takes ECC hits, partial bitstreams fail their CRC check and interrupts go
+missing.  The simulation reproduces those behaviors through a single
+seeded description: a :class:`FaultPlan` is a bag of :class:`FaultRule`\\ s,
+one or more per *fault site* (a named injection point inside a hardware
+model).  All randomness used to decide whether a site fires flows from
+RNG substreams derived from ``(plan.seed, site, rule index)``, so a chaos
+run is exactly reproducible from ``(seed, plan)`` and injection in one
+domain never perturbs the draw sequence of another.
+
+Sites (one per hardware domain the shell must survive):
+
+==================  =====================================================
+site                models
+==================  =====================================================
+``net.drop``        frame loss in the switch fabric
+``net.corrupt``     bit errors on the wire (receiver FCS/ICRC discard)
+``net.duplicate``   link-layer duplication (e.g. flaky cut-through relay)
+``net.reorder``     adaptive-routing reordering (a frame takes a detour)
+``pcie.replay``     PCIe link-layer errors recovered by DLLP replay
+``hbm.ecc_single``  correctable single-bit ECC events in card memory
+``hbm.ecc_double``  detected-uncorrectable double-bit ECC events
+``icap.crc``        CRC mismatch while streaming a partial bitstream
+``driver.msix``     an MSI-X interrupt message lost in flight
+==================  =====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Optional, Tuple
+
+__all__ = [
+    "FaultRule",
+    "FaultPlan",
+    "FAULT_SITES",
+    "NET_DROP",
+    "NET_CORRUPT",
+    "NET_DUPLICATE",
+    "NET_REORDER",
+    "PCIE_REPLAY",
+    "HBM_ECC_SINGLE",
+    "HBM_ECC_DOUBLE",
+    "ICAP_CRC",
+    "MSIX_LOSS",
+]
+
+NET_DROP = "net.drop"
+NET_CORRUPT = "net.corrupt"
+NET_DUPLICATE = "net.duplicate"
+NET_REORDER = "net.reorder"
+PCIE_REPLAY = "pcie.replay"
+HBM_ECC_SINGLE = "hbm.ecc_single"
+HBM_ECC_DOUBLE = "hbm.ecc_double"
+ICAP_CRC = "icap.crc"
+MSIX_LOSS = "driver.msix"
+
+#: Every injection point the hardware models expose.
+FAULT_SITES = frozenset(
+    {
+        NET_DROP,
+        NET_CORRUPT,
+        NET_DUPLICATE,
+        NET_REORDER,
+        PCIE_REPLAY,
+        HBM_ECC_SINGLE,
+        HBM_ECC_DOUBLE,
+        ICAP_CRC,
+        MSIX_LOSS,
+    }
+)
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One injection rule at one site.
+
+    A rule sees every event at its site (each frame through the switch,
+    each DMA transfer, each ICAP program, ...).  Events the optional
+    ``match`` predicate rejects are invisible to it.  Of the events it
+    does see, the rule fires on the 0-based indices listed in
+    ``at_events`` (deterministic, targeted injection — what the protocol
+    regression tests use) and, independently, on each event with
+    ``probability`` (statistical chaos — what the property tests use).
+    ``max_fires`` caps the total.
+    """
+
+    site: str
+    probability: float = 0.0
+    at_events: Tuple[int, ...] = ()
+    max_fires: Optional[int] = None
+    match: Optional[Callable[[Any], bool]] = None
+
+    def __post_init__(self) -> None:
+        if self.site not in FAULT_SITES:
+            raise ValueError(
+                f"unknown fault site {self.site!r}; known: {sorted(FAULT_SITES)}"
+            )
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(f"probability {self.probability!r} outside [0, 1]")
+        if self.max_fires is not None and self.max_fires < 0:
+            raise ValueError("max_fires must be non-negative")
+        object.__setattr__(self, "at_events", tuple(self.at_events))
+
+    def describe(self) -> str:
+        parts = [f"site={self.site!r}"]
+        if self.probability:
+            parts.append(f"probability={self.probability}")
+        if self.at_events:
+            parts.append(f"at_events={self.at_events}")
+        if self.max_fires is not None:
+            parts.append(f"max_fires={self.max_fires}")
+        if self.match is not None:
+            parts.append("match=<predicate>")
+        return f"FaultRule({', '.join(parts)})"
+
+    __repr__ = describe
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, immutable set of fault rules.
+
+    The plan owns the seed; :class:`repro.faults.FaultInjector` derives
+    every per-rule RNG from it.  ``describe()`` round-trips enough to
+    re-run a failing chaos case by hand (probability/at_events rules are
+    printed verbatim; ``match`` predicates are user code and shown as
+    placeholders).
+    """
+
+    seed: int = 0
+    rules: Tuple[FaultRule, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "rules", tuple(self.rules))
+
+    @classmethod
+    def build(cls, seed: int = 0, **site_probabilities: float) -> "FaultPlan":
+        """Shorthand: ``FaultPlan.build(7, net_drop=0.05, pcie_replay=0.01)``
+        maps keyword names to site names (underscores become dots)."""
+        rules = tuple(
+            FaultRule(site=key.replace("_", ".", 1), probability=probability)
+            for key, probability in site_probabilities.items()
+        )
+        return cls(seed=seed, rules=rules)
+
+    def sites(self) -> frozenset:
+        return frozenset(rule.site for rule in self.rules)
+
+    def for_site(self, site: str) -> Tuple[FaultRule, ...]:
+        return tuple(rule for rule in self.rules if rule.site == site)
+
+    def describe(self) -> str:
+        body = ", ".join(rule.describe() for rule in self.rules)
+        return f"FaultPlan(seed={self.seed}, rules=[{body}])"
+
+    __repr__ = describe

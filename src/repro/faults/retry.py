@@ -1,0 +1,39 @@
+"""Retry with exponential backoff: the driver's reliability response.
+
+The real driver retries transient hardware failures (a partial bitstream
+that failed its CRC check, a lost interrupt) with capped exponential
+backoff before surfacing an error to user space.  One policy object keeps
+the knobs in one place for the driver and the tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator
+
+__all__ = ["RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff: ``base * 2**(attempt-1)``, up to ``cap``."""
+
+    max_retries: int = 3
+    base_backoff_ns: float = 100_000.0  # 100 us
+    backoff_cap_ns: float = 10_000_000.0  # 10 ms
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if self.base_backoff_ns < 0 or self.backoff_cap_ns < self.base_backoff_ns:
+            raise ValueError("need 0 <= base_backoff_ns <= backoff_cap_ns")
+
+    def backoff_ns(self, attempt: int) -> float:
+        """Delay before retry ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ValueError("attempt is 1-based")
+        return min(self.base_backoff_ns * (2.0 ** (attempt - 1)), self.backoff_cap_ns)
+
+    def sleep(self, env, attempt: int) -> Generator:
+        """``yield from policy.sleep(env, attempt)`` inside a process."""
+        yield env.timeout(self.backoff_ns(attempt))

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Generator, Optional
 
+from ..faults.plan import HBM_ECC_DOUBLE, HBM_ECC_SINGLE
 from ..sim.clock import HBM_CLOCK, Clock
 from ..sim.engine import AllOf, Environment
 from ..sim.resources import Resource
@@ -64,6 +65,10 @@ class HbmController:
         self._channels = [Resource(env, capacity=1) for _ in range(config.num_channels)]
         self.bytes_read = 0
         self.bytes_written = 0
+        #: Armed :class:`repro.faults.FaultInjector`, or ``None``.
+        self.faults = None
+        self.ecc_corrected = 0
+        self.ecc_uncorrected = 0
 
     # -- address mapping ---------------------------------------------------
 
@@ -87,9 +92,19 @@ class HbmController:
         yield grant
         try:
             cycles = -(-nbytes // self.config.port_width_bytes)
-            yield self.env.timeout(
-                self.config.access_latency_ns + self.config.clock.cycles_to_ns(cycles)
-            )
+            delay = self.config.access_latency_ns + self.config.clock.cycles_to_ns(cycles)
+            if self.faults is not None:
+                if self.faults.fires(HBM_ECC_SINGLE, channel):
+                    # SECDED corrects single-bit flips inline: data intact,
+                    # only the event is counted (scrubber telemetry).
+                    self.ecc_corrected += 1
+                if self.faults.fires(HBM_ECC_DOUBLE, channel):
+                    # Double-bit error: the controller re-reads the burst
+                    # (doubling the access time) and succeeds — modeled as
+                    # a transient; the event is surfaced via card_report().
+                    self.ecc_uncorrected += 1
+                    delay *= 2.0
+            yield self.env.timeout(delay)
         finally:
             self._channels[channel].release(grant)
 

@@ -2,14 +2,18 @@
 
 The paper's RDMA stack runs "over a switched network ... compatible with
 commodity hardware"; experiments here connect two or more simulated FPGA
-nodes (and, for tests, software peers) through this fabric.  Supports a
-drop hook for fault injection, which the retransmission tests use.
+nodes (and, for tests, software peers) through this fabric.  Fault
+injection goes through the unified :mod:`repro.faults` sites (loss,
+corruption, duplication, reordering); the legacy ``drop_fn`` hook still
+works but is deprecated.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Callable, Dict, Optional
 
+from ..faults.plan import NET_CORRUPT, NET_DROP, NET_DUPLICATE, NET_REORDER
 from ..sim.engine import Environment
 from .cmac import Cmac
 from .headers import MacAddress
@@ -19,6 +23,11 @@ __all__ = ["Switch"]
 
 #: Typical ToR cut-through forwarding latency.
 SWITCH_LATENCY_NS = 600.0
+#: Extra path latency for a reordered frame (adaptive-routing detour):
+#: long enough that back-to-back MTU frames overtake it.
+REORDER_DETOUR_NS = 4 * SWITCH_LATENCY_NS
+#: Gap between the original and its injected duplicate.
+DUPLICATE_GAP_NS = 50.0
 
 
 class Switch:
@@ -28,11 +37,31 @@ class Switch:
         self.env = env
         self.latency_ns = latency_ns
         self._ports: Dict[MacAddress, Cmac] = {}
-        #: Optional fault injector: return True to drop the frame.
-        self.drop_fn: Optional[Callable[[RocePacket], bool]] = None
+        self._drop_fn: Optional[Callable[[RocePacket], bool]] = None
+        #: Armed :class:`repro.faults.FaultInjector`, or ``None``.
+        self.faults = None
         self.forwarded = 0
         self.dropped = 0
+        self.corrupted = 0
+        self.duplicated = 0
+        self.reordered = 0
         self.unroutable = 0
+
+    @property
+    def drop_fn(self) -> Optional[Callable[[RocePacket], bool]]:
+        """Legacy fault hook: return True to drop the frame (deprecated)."""
+        return self._drop_fn
+
+    @drop_fn.setter
+    def drop_fn(self, fn: Optional[Callable[[RocePacket], bool]]) -> None:
+        if fn is not None:
+            warnings.warn(
+                "Switch.drop_fn is deprecated; arm a repro.faults.FaultPlan "
+                "with a 'net.drop' FaultRule instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        self._drop_fn = fn
 
     def attach(self, mac: MacAddress, cmac: Cmac) -> None:
         if mac in self._ports:
@@ -46,16 +75,37 @@ class Switch:
             raise ValueError(f"port {mac!r} is not attached")
 
     def _ingress(self, packet: RocePacket) -> None:
-        if self.drop_fn is not None and self.drop_fn(packet):
+        if self._drop_fn is not None and self._drop_fn(packet):
             self.dropped += 1
             return
+        delay = self.latency_ns
+        copies = 1
+        faults = self.faults
+        if faults is not None:
+            if faults.fires(NET_DROP, packet):
+                self.dropped += 1
+                return
+            if faults.fires(NET_CORRUPT, packet):
+                # Bit errors on the wire: the receiving CMAC's FCS/ICRC
+                # check discards the frame, so corruption is never silent
+                # — the reliable transports see it as loss and retransmit.
+                self.corrupted += 1
+                self.dropped += 1
+                return
+            if faults.fires(NET_REORDER, packet):
+                self.reordered += 1
+                delay += REORDER_DETOUR_NS
+            if faults.fires(NET_DUPLICATE, packet):
+                self.duplicated += 1
+                copies = 2
         port = self._ports.get(packet.eth.dst)
         if port is None:
             self.unroutable += 1
             return
         self.forwarded += 1
-        self.env.process(self._forward(port, packet))
+        for copy in range(copies):
+            self.env.process(self._forward(port, packet, delay + copy * DUPLICATE_GAP_NS))
 
-    def _forward(self, port: Cmac, packet: RocePacket):
-        yield self.env.timeout(self.latency_ns)
+    def _forward(self, port: Cmac, packet: RocePacket, delay_ns: float):
+        yield self.env.timeout(delay_ns)
         port.deliver(packet)

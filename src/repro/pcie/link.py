@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Generator
 
+from ..faults.plan import PCIE_REPLAY
 from ..sim.engine import Environment
 from ..sim.resources import Resource
 
@@ -26,6 +27,9 @@ class PcieLinkConfig:
     c2h_bandwidth: float = 12.0
     descriptor_overhead_ns: float = 350.0  # DMA descriptor fetch + setup
     mmio_latency_ns: float = 900.0
+    #: Data-link-layer replay penalty: a TLP that fails its LCRC is
+    #: retransmitted from the replay buffer (ACK timeout + resend).
+    replay_latency_ns: float = 1_000.0
 
 
 class PcieLink:
@@ -43,6 +47,17 @@ class PcieLink:
         self._c2h = Resource(env, capacity=1)
         self.h2c_bytes = 0
         self.c2h_bytes = 0
+        #: Armed :class:`repro.faults.FaultInjector`, or ``None``.
+        self.faults = None
+        self.replays = 0
+
+    def _replay_penalty_ns(self, direction: str) -> float:
+        """Link-layer fault check: a replayed TLP costs extra latency but
+        the transfer still delivers intact data (LCRC catches the error)."""
+        if self.faults is not None and self.faults.fires(PCIE_REPLAY, direction):
+            self.replays += 1
+            return self.config.replay_latency_ns
+        return 0.0
 
     def _occupy(self, direction: Resource, duration_ns: float) -> Generator:
         grant = direction.request()
@@ -57,6 +72,7 @@ class PcieLink:
         duration = nbytes / self.config.h2c_bandwidth
         if overhead:
             duration += self.config.descriptor_overhead_ns
+        duration += self._replay_penalty_ns("h2c")
         yield from self._occupy(self._h2c, duration)
         self.h2c_bytes += nbytes
 
@@ -65,5 +81,6 @@ class PcieLink:
         duration = nbytes / self.config.c2h_bandwidth
         if overhead:
             duration += self.config.descriptor_overhead_ns
+        duration += self._replay_penalty_ns("c2h")
         yield from self._occupy(self._c2h, duration)
         self.c2h_bytes += nbytes

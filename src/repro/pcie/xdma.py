@@ -20,6 +20,7 @@ from enum import Enum
 from typing import Callable, Dict, Generator, List, Optional
 
 from ..axi.lite import AxiLite, RegisterFile
+from ..faults.plan import MSIX_LOSS
 from ..mem.sparse import SparseMemory
 from ..sim.engine import Environment
 from .link import PcieLink, PcieLinkConfig
@@ -74,6 +75,9 @@ class Xdma:
         }
         self.writebacks: Dict[str, Writeback] = {}
         self.interrupts_raised = 0
+        #: Armed :class:`repro.faults.FaultInjector`, or ``None``.
+        self.faults = None
+        self.interrupts_lost = 0
 
     # -- host streaming + migration channels --------------------------------
 
@@ -114,6 +118,12 @@ class Xdma:
     def raise_msix(self, vector: MsiVector, value: int = 0) -> Generator:
         """Deliver an MSI-X interrupt to every registered handler."""
         yield self.env.timeout(MSIX_LATENCY_NS)
+        if self.faults is not None and self.faults.fires(MSIX_LOSS, vector):
+            # The MSI-X message write was lost in flight: no handler ever
+            # runs.  Waiters must recover by timeout + status-register
+            # polling (the driver's reconfiguration path does exactly that).
+            self.interrupts_lost += 1
+            return
         self.interrupts_raised += 1
         for handler in self._irq_handlers[vector]:
             handler(value)

@@ -1,0 +1,17 @@
+"""Shared pytest configuration: hypothesis profiles.
+
+CI runs with ``HYPOTHESIS_PROFILE=ci``: derandomized so every run of a
+given commit explores the same examples, with ``print_blob`` enabled so a
+failing example prints the ``@reproduce_failure`` blob needed to replay
+it locally.  The default ``dev`` profile keeps hypothesis's normal
+randomized exploration (deadlines disabled — simulated workloads have
+highly variable wall-clock cost per example).
+"""
+
+import os
+
+from hypothesis import settings
+
+settings.register_profile("dev", deadline=None)
+settings.register_profile("ci", deadline=None, derandomize=True, print_blob=True)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))

@@ -164,3 +164,29 @@ def test_rr_arbiter_sees_both_tenants():
     procs = [env.process(client(v)) for v in range(2)]
     env.run(AllOf(env, procs))
     assert shell.dynamic.host_mover.rd_arbiter.grants == 32  # 16 packets each
+
+
+def test_assembler_mixed_partial_takes_consume_real_prefix():
+    asm = _FlitAssembler()
+    asm.push(Flit(length=4, data=b"real"))
+    asm.push(Flit(length=4))  # timing only
+    # A take smaller than the buffered real bytes still returns None —
+    # the run is tainted — and consumes the real prefix.
+    assert asm.take(3) is None
+    assert asm.available == 5
+    # Real bytes pushed mid-run stay tainted until the run drains.
+    asm.push(Flit(length=2, data=b"ok"))
+    assert asm.take(7) is None
+    assert asm.available == 0
+    # Boundary reached with nothing left over: the next run is clean.
+    asm.push(Flit(length=2, data=b"ok"))
+    assert asm.take(2) == b"ok"
+
+
+def test_assembler_taint_clears_only_at_stream_boundary():
+    asm = _FlitAssembler()
+    asm.push(Flit(length=4))  # timing-only
+    assert asm.take(2) is None
+    asm.push(Flit(length=2, data=b"hi"))  # real bytes join a tainted run
+    assert asm.take(4) is None
+    assert asm.available == 0

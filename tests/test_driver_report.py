@@ -58,3 +58,49 @@ def test_format_report_flattens():
     text = format_report(card_report(driver))
     assert "pcie.h2c_bytes: 65536" in text
     assert "vfpgas[0].app: passthrough" in text
+
+
+def test_report_fault_section_quiescent():
+    """With no injector armed, the faults section is all-zero and carries
+    no 'injected' summary."""
+    driver = run_some_traffic()
+    faults = card_report(driver)["faults"]
+    assert faults["pcie_replays"] == 0
+    assert faults["msix_lost"] == 0
+    assert faults["icap_crc_failures"] == 0
+    assert faults["icap_rollbacks"] == 0
+    assert faults["reconfig_retries"] == 0
+    assert faults["irq_timeouts"] == 0
+    assert faults["invoke_timeouts"] == 0
+    assert faults["hbm_ecc_corrected"] == 0
+    assert faults["hbm_ecc_uncorrected"] == 0
+    assert "injected" not in faults
+
+
+def test_report_fault_section_under_injection():
+    from repro.faults import FaultInjector, FaultPlan
+
+    env = Environment()
+    shell = Shell(env, ShellConfig(num_vfpgas=1))
+    driver = Driver(env, shell)
+    injector = FaultInjector(FaultPlan.build(seed=3, pcie_replay=1.0)).arm(shell=shell)
+    shell.load_app(0, PassThroughApp())
+    ct = CThread(driver, 0, pid=11)
+
+    def main():
+        src = yield from ct.get_mem(4096)
+        dst = yield from ct.get_mem(4096)
+        sg = SgEntry(local=LocalSg(src_addr=src.vaddr, src_len=4096,
+                                   dst_addr=dst.vaddr, dst_len=4096))
+        yield from ct.invoke(Oper.LOCAL_TRANSFER, sg)
+
+    env.run(env.process(main()))
+    env.run()
+    report = card_report(driver)
+    faults = report["faults"]
+    assert faults["pcie_replays"] == injector.fire_counts["pcie.replay"] > 0
+    # The injected summary mirrors the injector's per-site accounting.
+    assert faults["injected"] == injector.summary()
+    assert faults["injected"]["pcie.replay"]["fires"] == faults["pcie_replays"]
+    # The per-section counters surface in the flattened text report too.
+    assert "faults.pcie_replays" in format_report(report)

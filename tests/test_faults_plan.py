@@ -1,0 +1,188 @@
+"""Unit tests for the fault-injection framework itself.
+
+Covers the plan/rule validation surface, the determinism contract of the
+injector's per-rule RNG substreams, and the retry policy arithmetic.
+"""
+
+import pytest
+
+from repro.faults import (
+    FAULT_SITES,
+    HBM_ECC_SINGLE,
+    ICAP_CRC,
+    NET_DROP,
+    PCIE_REPLAY,
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+    RetryPolicy,
+)
+from repro.sim.tracing import Tracer
+
+
+# ------------------------------------------------------------------- rules
+
+def test_unknown_site_rejected():
+    with pytest.raises(ValueError, match="unknown fault site"):
+        FaultRule(site="net.explode")
+
+
+def test_probability_range_enforced():
+    with pytest.raises(ValueError, match="probability"):
+        FaultRule(site=NET_DROP, probability=1.5)
+    with pytest.raises(ValueError, match="probability"):
+        FaultRule(site=NET_DROP, probability=-0.1)
+
+
+def test_negative_max_fires_rejected():
+    with pytest.raises(ValueError, match="max_fires"):
+        FaultRule(site=NET_DROP, max_fires=-1)
+
+
+def test_plan_build_maps_keywords_to_sites():
+    plan = FaultPlan.build(seed=9, net_drop=0.05, pcie_replay=0.01, icap_crc=0.5)
+    assert plan.seed == 9
+    assert plan.sites() == {NET_DROP, PCIE_REPLAY, ICAP_CRC}
+    (drop_rule,) = plan.for_site(NET_DROP)
+    assert drop_rule.probability == 0.05
+
+
+def test_plan_describe_round_trips_rules():
+    plan = FaultPlan(seed=4, rules=[FaultRule(site=ICAP_CRC, at_events=(0, 2))])
+    text = plan.describe()
+    assert "seed=4" in text and "icap.crc" in text and "(0, 2)" in text
+
+
+def test_every_site_is_buildable():
+    for site in FAULT_SITES:
+        FaultRule(site=site, probability=0.1)
+
+
+# ---------------------------------------------------------------- injector
+
+def test_at_events_fire_deterministically():
+    plan = FaultPlan(rules=[FaultRule(site=ICAP_CRC, at_events=(1, 3))])
+    injector = FaultInjector(plan)
+    fired = [injector.fires(ICAP_CRC) for _ in range(5)]
+    assert fired == [False, True, False, True, False]
+
+
+def test_match_predicate_filters_event_stream():
+    plan = FaultPlan(
+        rules=[FaultRule(site=NET_DROP, at_events=(0,), match=lambda c: c == "b")]
+    )
+    injector = FaultInjector(plan)
+    # Non-matching events are invisible to the rule's event counter.
+    assert injector.fires(NET_DROP, "a") is False
+    assert injector.fires(NET_DROP, "b") is True
+    assert injector.fires(NET_DROP, "b") is False
+
+
+def test_max_fires_caps_probabilistic_rule():
+    plan = FaultPlan(seed=1, rules=[FaultRule(site=NET_DROP, probability=1.0, max_fires=2)])
+    injector = FaultInjector(plan)
+    assert sum(injector.fires(NET_DROP) for _ in range(10)) == 2
+
+
+def test_same_seed_reproduces_fire_pattern():
+    def pattern(seed):
+        injector = FaultInjector(FaultPlan.build(seed=seed, net_drop=0.3))
+        return [injector.fires(NET_DROP) for _ in range(200)]
+
+    assert pattern(42) == pattern(42)
+    assert pattern(42) != pattern(43)  # astronomically unlikely to collide
+
+
+def test_substreams_are_independent_across_sites():
+    """Arming an extra site must not perturb another site's draw sequence."""
+
+    def net_pattern(plan):
+        injector = FaultInjector(plan)
+        out = []
+        for i in range(100):
+            out.append(injector.fires(NET_DROP))
+            if HBM_ECC_SINGLE in plan.sites() and i % 3 == 0:
+                injector.fires(HBM_ECC_SINGLE)  # interleaved foreign events
+        return out
+
+    alone = net_pattern(FaultPlan.build(seed=7, net_drop=0.25))
+    with_hbm = net_pattern(FaultPlan.build(seed=7, net_drop=0.25, hbm_ecc_single=0.5))
+    assert alone == with_hbm
+
+
+def test_fire_history_does_not_shift_substream():
+    """max_fires exhausting early must not advance/stall the RNG stream."""
+    base = FaultInjector(FaultPlan(seed=5, rules=[FaultRule(site=NET_DROP, probability=0.3)]))
+    capped = FaultInjector(
+        FaultPlan(seed=5, rules=[FaultRule(site=NET_DROP, probability=0.3, max_fires=2)])
+    )
+    base_fires = [base.fires(NET_DROP) for _ in range(50)]
+    capped_fires = [capped.fires(NET_DROP) for _ in range(50)]
+    # The capped run fires on a strict prefix of the base run's events.
+    assert [i for i, f in enumerate(capped_fires) if f] == \
+        [i for i, f in enumerate(base_fires) if f][:2]
+
+
+def test_unknown_site_query_raises():
+    injector = FaultInjector(FaultPlan())
+    with pytest.raises(ValueError, match="unknown fault site"):
+        injector.fires("gpu.meltdown")
+
+
+def test_unarmed_site_never_fires():
+    injector = FaultInjector(FaultPlan.build(seed=0, net_drop=1.0))
+    assert injector.fires(PCIE_REPLAY) is False
+
+
+def test_summary_counts_events_and_fires():
+    injector = FaultInjector(FaultPlan(rules=[FaultRule(site=ICAP_CRC, at_events=(0,))]))
+    injector.fires(ICAP_CRC)
+    injector.fires(ICAP_CRC)
+    assert injector.summary() == {ICAP_CRC: {"events": 2, "fires": 1}}
+    assert injector.total_fires() == 1
+
+
+def test_tracer_records_each_fire():
+    tracer = Tracer()
+    injector = FaultInjector(
+        FaultPlan(rules=[FaultRule(site=ICAP_CRC, at_events=(1,))]), tracer=tracer
+    )
+    for _ in range(3):
+        injector.fires(ICAP_CRC)
+    records = tracer.filter(source="faults")
+    assert len(records) == 1
+    assert records[0].kind == ICAP_CRC
+    assert records[0].payload == 1  # the site-event index that fired
+
+
+# ------------------------------------------------------------ retry policy
+
+def test_backoff_doubles_until_cap():
+    policy = RetryPolicy(max_retries=5, base_backoff_ns=100.0, backoff_cap_ns=450.0)
+    assert [policy.backoff_ns(a) for a in (1, 2, 3, 4)] == [100.0, 200.0, 400.0, 450.0]
+
+
+def test_backoff_attempt_is_one_based():
+    with pytest.raises(ValueError):
+        RetryPolicy().backoff_ns(0)
+
+
+def test_policy_validation():
+    with pytest.raises(ValueError):
+        RetryPolicy(max_retries=-1)
+    with pytest.raises(ValueError):
+        RetryPolicy(base_backoff_ns=200.0, backoff_cap_ns=100.0)
+
+
+def test_policy_sleep_advances_clock():
+    from repro.sim import Environment
+
+    env = Environment()
+    policy = RetryPolicy(base_backoff_ns=1_000.0)
+
+    def proc():
+        yield from policy.sleep(env, 1)
+        yield from policy.sleep(env, 2)
+
+    env.run(env.process(proc()))
+    assert env.now == 3_000.0

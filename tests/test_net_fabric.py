@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.faults import FaultInjector, FaultPlan
 from repro.net import BthHeader, Cmac, MacAddress, RocePacket, RoceOpcode, Switch
 from repro.net.cmac import CMAC_BANDWIDTH, FRAME_OVERHEAD_BYTES
 from repro.sim import Environment
@@ -68,7 +69,7 @@ def test_switch_drop_counts():
     cmac_a, cmac_b = Cmac(env), Cmac(env)
     switch.attach(MAC_A, cmac_a)
     switch.attach(MAC_B, cmac_b)
-    switch.drop_fn = lambda pkt: True
+    FaultInjector(FaultPlan.build(net_drop=1.0)).arm(switch=switch)
 
     def proc():
         yield from cmac_a.tx(packet())
@@ -77,6 +78,29 @@ def test_switch_drop_counts():
     env.run()
     assert switch.dropped == 1
     assert cmac_b.rx_frames == 0
+
+
+def test_legacy_drop_fn_warns_but_still_drops():
+    """``Switch.drop_fn`` is deprecated in favour of fault plans, yet
+    existing callers must keep working until it is removed."""
+    env = Environment()
+    switch = Switch(env)
+    cmac_a, cmac_b = Cmac(env), Cmac(env)
+    switch.attach(MAC_A, cmac_a)
+    switch.attach(MAC_B, cmac_b)
+    with pytest.warns(DeprecationWarning, match="drop_fn is deprecated"):
+        switch.drop_fn = lambda pkt: True
+
+    def proc():
+        yield from cmac_a.tx(packet())
+
+    env.run(env.process(proc()))
+    env.run()
+    assert switch.dropped == 1
+    assert cmac_b.rx_frames == 0
+    # Clearing the hook does not warn.
+    switch.drop_fn = None
+    assert switch.drop_fn is None
 
 
 def test_duplicate_attach_rejected():

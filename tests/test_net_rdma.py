@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.faults import NET_DROP, FaultInjector, FaultPlan, FaultRule
 from repro.mem import SparseMemory
 from repro.net import (
     Cmac,
@@ -132,24 +133,19 @@ def test_retransmission_after_packet_loss():
     env, (a, mem_a), (b, mem_b), switch = two_nodes(config)
     payload = bytes(i % 256 for i in range(12_288))  # 3 packets
     mem_a.write(0, payload)
-    dropped = []
-
-    def drop_second_data_packet(packet):
-        if (
-            packet.bth.opcode == RoceOpcode.RDMA_WRITE_MIDDLE
-            and not dropped
-        ):
-            dropped.append(packet.bth.psn)
-            return True
-        return False
-
-    switch.drop_fn = drop_second_data_packet
+    # Drop the first MIDDLE data packet (and only it) seen on the wire.
+    plan = FaultPlan(rules=[FaultRule(
+        site=NET_DROP,
+        at_events=(0,),
+        match=lambda pkt: pkt.bth.opcode == RoceOpcode.RDMA_WRITE_MIDDLE,
+    )])
+    injector = FaultInjector(plan).arm(switch=switch)
 
     def proc():
         yield from a.rdma_write(1, 0, 0x4000, len(payload))
 
     env.run(env.process(proc()))
-    assert dropped, "fault injection never triggered"
+    assert injector.fire_counts[NET_DROP] == 1, "fault injection never triggered"
     assert a.stats["retransmissions"] >= 1
     assert mem_b.read(0x4000, len(payload)) == payload
 
@@ -159,15 +155,13 @@ def test_nak_triggers_go_back_n():
     env, (a, mem_a), (b, mem_b), switch = two_nodes(config)
     payload = bytes(i % 256 for i in range(12_288))
     mem_a.write(0, payload)
-    state = {"dropped": False}
-
-    def drop_first(packet):
-        if packet.bth.opcode == RoceOpcode.RDMA_WRITE_FIRST and not state["dropped"]:
-            state["dropped"] = True
-            return True
-        return False
-
-    switch.drop_fn = drop_first
+    # Drop the FIRST data packet once so the receiver NAKs the PSN gap.
+    plan = FaultPlan(rules=[FaultRule(
+        site=NET_DROP,
+        at_events=(0,),
+        match=lambda pkt: pkt.bth.opcode == RoceOpcode.RDMA_WRITE_FIRST,
+    )])
+    FaultInjector(plan).arm(switch=switch)
 
     def proc():
         yield from a.rdma_write(1, 0, 0, len(payload))
@@ -184,16 +178,13 @@ def test_duplicate_packets_ignored():
     env, (a, mem_a), (b, mem_b), switch = two_nodes(config)
     payload = bytes(range(256)) * 16
     mem_a.write(0, payload)
-    state = {"count": 0}
-
-    def drop_last_ack(packet):
-        # Drop the first ACK so the sender retransmits an already-applied write.
-        if packet.bth.opcode == RoceOpcode.ACKNOWLEDGE and state["count"] == 0:
-            state["count"] += 1
-            return True
-        return False
-
-    switch.drop_fn = drop_last_ack
+    # Drop the first ACK so the sender retransmits an already-applied write.
+    plan = FaultPlan(rules=[FaultRule(
+        site=NET_DROP,
+        at_events=(0,),
+        match=lambda pkt: pkt.bth.opcode == RoceOpcode.ACKNOWLEDGE,
+    )])
+    FaultInjector(plan).arm(switch=switch)
 
     def proc():
         yield from a.rdma_write(1, 0, 0x1000, len(payload))

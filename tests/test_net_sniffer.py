@@ -171,3 +171,18 @@ def test_pcap_writer_roundtrip_multiple_records():
 def test_pcap_reader_rejects_garbage():
     with pytest.raises(ValueError):
         read_pcap(b"not a pcap")
+
+
+def test_dropped_register_readback_under_exhaustion():
+    """REG_DROPPED must report the live drop count over the control BAR,
+    and captured + dropped must account for every offered frame."""
+    env, cmac_a, _b, sniffer = sniffer_rig(buffer_len=256)  # fits ~2 records
+    sniffer.start()
+    run_traffic(env, cmac_a, [make_packet(psn=i) for i in range(10)])
+    assert sniffer.dropped > 0
+    assert sniffer.regs.read(5) == sniffer.dropped  # REG_DROPPED
+    assert sniffer.regs.read(4) == sniffer.captured  # REG_CAPTURED
+    assert sniffer.captured + sniffer.dropped == 10
+    # The records that did land are intact despite the exhaustion.
+    records = parse_capture_buffer(sniffer.sync_to_host())
+    assert len(records) == sniffer.captured

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.faults import NET_DROP, FaultInjector, FaultPlan, FaultRule
 from repro.net import (
     Cmac,
     MacAddress,
@@ -156,19 +157,13 @@ def test_send_on_unestablished_connection_rejected():
 
 def test_retransmission_on_loss():
     env, a, b, switch = two_stacks(retransmit_timeout_ns=100_000)
-    state = {"dropped": 0}
-
-    def drop_one_data_segment(packet):
-        if (
-            isinstance(packet, TcpPacket)
-            and packet.payload
-            and state["dropped"] == 0
-        ):
-            state["dropped"] += 1
-            return True
-        return False
-
-    switch.drop_fn = drop_one_data_segment
+    # Drop exactly one data segment (never a handshake frame).
+    plan = FaultPlan(rules=[FaultRule(
+        site=NET_DROP,
+        at_events=(0,),
+        match=lambda pkt: isinstance(pkt, TcpPacket) and bool(pkt.payload),
+    )])
+    FaultInjector(plan).arm(switch=switch)
     payload = bytes(range(256)) * 20  # multiple segments
     assert exchange(env, a, b, payload) == payload
     assert a.stats["retransmissions"] >= 1

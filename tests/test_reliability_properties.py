@@ -11,6 +11,7 @@ import random
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.faults import NET_DROP, FaultInjector, FaultPlan, FaultRule
 from repro.mem import SparseMemory
 from repro.net import Cmac, MacAddress, RdmaConfig, RdmaStack, Switch
 from repro.net.tcp import TcpPacket, TcpStack
@@ -57,7 +58,7 @@ def test_rdma_write_survives_random_loss(seed, drop_pct, nbytes):
     switch = Switch(env)
     stacks, memories = rdma_pair(env, switch, RdmaConfig(retransmit_timeout_ns=50_000))
     rng = random.Random(seed)
-    switch.drop_fn = lambda pkt: rng.randrange(100) < drop_pct
+    FaultInjector(FaultPlan.build(seed=seed, net_drop=drop_pct / 100.0)).arm(switch=switch)
     payload = bytes(rng.randrange(256) for _ in range(min(nbytes, 4096))) * (
         max(1, nbytes // 4096)
     )
@@ -89,11 +90,17 @@ def test_tcp_stream_survives_random_loss(seed, drop_pct, nbytes):
     rng = random.Random(seed)
     # Never drop handshake segments (a lost SYN just retries forever in
     # this offload stack; the property under test is the data path).
-    switch.drop_fn = lambda pkt: (
-        isinstance(pkt, TcpPacket)
-        and bool(pkt.payload)
-        and rng.randrange(100) < drop_pct
+    plan = FaultPlan(
+        seed=seed,
+        rules=[
+            FaultRule(
+                site=NET_DROP,
+                probability=drop_pct / 100.0,
+                match=lambda pkt: isinstance(pkt, TcpPacket) and bool(pkt.payload),
+            )
+        ],
     )
+    FaultInjector(plan).arm(switch=switch)
     payload = bytes(rng.randrange(256) for _ in range(nbytes))
     b.listen(80)
     received = {}
