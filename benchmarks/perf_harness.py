@@ -1,0 +1,331 @@
+#!/usr/bin/env python
+"""Fixed-workload performance harness emitting ``BENCH_PR2.json``.
+
+Runs a small suite of representative workloads over the simulated card
+and records, for every workload, achieved throughput, operation latency
+percentiles, simulated time and host wall time:
+
+* ``hbm_scaling``       -- card-memory pass-through across HBM channel counts
+                           (the Figure 7a axis).
+* ``rdma_msgsize``      -- two-node RDMA WRITE message-size sweep over the
+                           simulated RoCE fabric.
+* ``multitenant_aes``   -- AES ECB tenants sharing one card (Figure 8 axis).
+* ``scheduler_churn``   -- AppScheduler serving alternating kernels, measuring
+                           queue wait and reconfiguration overhead; also runs
+                           under ``SimProfiler`` to capture simulator hot paths.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf_harness.py [--quick] [--out FILE]
+    PYTHONPATH=src python benchmarks/perf_harness.py --validate FILE
+
+``--quick`` shrinks every workload for CI smoke runs; ``--validate``
+checks an existing result file against the schema and exits.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Any, Dict, List
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro import Environment, Oper, RdmaSg, SgEntry  # noqa: E402
+from repro.api import AppScheduler  # noqa: E402
+from repro.apps import AesEcbApp, HllApp  # noqa: E402
+from repro.cluster import FpgaCluster  # noqa: E402
+from repro.core import ServiceConfig, Shell, ShellConfig  # noqa: E402
+from repro.driver import Driver  # noqa: E402
+from repro.experiments.macrobench import multitenant_ecb_rates  # noqa: E402
+from repro.experiments.microbench import hbm_throughput  # noqa: E402
+from repro.sim import AllOf, LatencyStats  # noqa: E402
+from repro.synth import (  # noqa: E402
+    BuildFlow,
+    LockedShellCheckpoint,
+    modules_for_services,
+)
+from repro.telemetry import SimProfiler  # noqa: E402
+
+SCHEMA_VERSION = 2
+DEFAULT_OUT = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_PR2.json"
+)
+
+__all__ = ["run_suite", "validate_results", "main"]
+
+
+def _workload(name, *, throughput_gbps=None, ops_per_s=None,
+              latency_ns=None, sim_time_ns=0.0, wall_time_s=0.0, detail=None):
+    return {
+        "name": name,
+        "throughput_gbps": throughput_gbps,
+        "ops_per_s": ops_per_s,
+        "latency_ns": latency_ns,
+        "sim_time_ns": sim_time_ns,
+        "wall_time_s": wall_time_s,
+        "detail": detail or {},
+    }
+
+
+def _percentiles(stats: LatencyStats) -> Dict[str, float]:
+    return {
+        "p50": stats.percentile(50),
+        "p99": stats.percentile(99),
+        "mean": stats.mean,
+    }
+
+
+# ----------------------------------------------------------------- workloads
+
+
+def bench_hbm_scaling(quick: bool) -> Dict[str, Any]:
+    channels = [1, 4] if quick else [1, 2, 4, 8]
+    transfer_mb = 1 if quick else 2
+    t0 = time.perf_counter()
+    series = {str(ch): hbm_throughput(ch, transfer_mb=transfer_mb) for ch in channels}
+    wall = time.perf_counter() - t0
+    best = max(series.values())
+    return _workload(
+        "hbm_scaling",
+        throughput_gbps=best,
+        wall_time_s=wall,
+        detail={"transfer_mb": transfer_mb, "gbps_by_channels": series},
+    )
+
+
+def bench_rdma_msgsize(quick: bool) -> Dict[str, Any]:
+    sizes = [4096, 65536] if quick else [4096, 65536, 1 << 20]
+    messages = 4 if quick else 16
+    t0 = time.perf_counter()
+    series: Dict[str, float] = {}
+    lat = LatencyStats("rdma_write")
+    total_bytes = 0
+    total_sim_ns = 0.0
+    for size in sizes:
+        env = Environment()
+        cluster = FpgaCluster(
+            env, 2, services=ServiceConfig(en_memory=True, en_rdma=True)
+        )
+        thread_a, thread_b = cluster.connect_qps(
+            0, 1, pid_a=1, pid_b=2, qpn_a=1, qpn_b=2
+        )
+
+        def client():
+            src = yield from thread_a.get_mem(size)
+            dst = yield from thread_b.get_mem(size)
+            sg = SgEntry(
+                rdma=RdmaSg(local_addr=src.vaddr, remote_addr=dst.vaddr,
+                            len=size, qpn=1)
+            )
+            for _ in range(messages):
+                start = env.now
+                yield from thread_a.invoke(Oper.REMOTE_RDMA_WRITE, sg)
+                lat.record(env.now - start)
+
+        env.run(env.process(client()))
+        series[str(size)] = size * messages * 8 / env.now if env.now else 0.0
+        total_bytes += size * messages
+        total_sim_ns += env.now
+    wall = time.perf_counter() - t0
+    return _workload(
+        "rdma_msgsize",
+        throughput_gbps=max(series.values()),
+        latency_ns=_percentiles(lat),
+        sim_time_ns=total_sim_ns,
+        wall_time_s=wall,
+        detail={"messages_per_size": messages, "gbps_by_msgsize": series},
+    )
+
+
+def bench_multitenant_aes(quick: bool) -> Dict[str, Any]:
+    tenants = 2 if quick else 4
+    transfer_mb = 1 if quick else 2
+    messages = 2 if quick else 3
+    t0 = time.perf_counter()
+    rates = multitenant_ecb_rates(tenants, transfer_mb=transfer_mb, messages=messages)
+    wall = time.perf_counter() - t0
+    return _workload(
+        "multitenant_aes",
+        throughput_gbps=sum(rates),
+        wall_time_s=wall,
+        detail={
+            "tenants": tenants,
+            "per_tenant_gbps": rates,
+            "fairness_min_over_max": min(rates) / max(rates) if max(rates) else 0.0,
+        },
+    )
+
+
+def bench_scheduler_churn(quick: bool) -> Dict[str, Any]:
+    requests = 8 if quick else 24
+    env = Environment()
+    shell = Shell(
+        env, ShellConfig(num_vfpgas=1, services=ServiceConfig(en_memory=False))
+    )
+    driver = Driver(env, shell)
+    flow = BuildFlow("u55c")
+    checkpoint = LockedShellCheckpoint(
+        "u55c", shell.config.services, shell.shell_id,
+        sum(m.luts for m in modules_for_services(shell.config.services)),
+    )
+    scheduler = AppScheduler(driver, affinity_window=4)
+    scheduler.register("hll", flow.app_flow(checkpoint, ["hll"]).bitstream, HllApp)
+    scheduler.register(
+        "aes", flow.app_flow(checkpoint, ["aes_ecb"]).bitstream, AesEcbApp
+    )
+
+    def body(app):
+        yield env.timeout(2_000.0)
+        return True
+
+    def client(i):
+        kernel = "hll" if i % 3 else "aes"
+        yield from scheduler.submit(kernel, body)
+
+    procs = [env.process(client(i)) for i in range(requests)]
+    profiler = SimProfiler().attach(env)
+    t0 = time.perf_counter()
+    env.run(AllOf(env, procs))
+    wall = time.perf_counter() - t0
+    profiler.detach()
+    wait = scheduler.queue_wait
+    return _workload(
+        "scheduler_churn",
+        ops_per_s=requests / (env.now / 1e9) if env.now else 0.0,
+        latency_ns={
+            "p50": wait.percentile(50),
+            "p99": wait.percentile(99),
+            "mean": wait.mean,
+        },
+        sim_time_ns=env.now,
+        wall_time_s=wall,
+        detail={
+            "requests": requests,
+            "reconfigurations": scheduler.reconfigurations,
+            "affinity_hits": scheduler.affinity_hits,
+            "reconfig_failures": scheduler.reconfig_failures,
+            "profile": profiler.report(top=6),
+        },
+    )
+
+
+WORKLOADS = [
+    bench_hbm_scaling,
+    bench_rdma_msgsize,
+    bench_multitenant_aes,
+    bench_scheduler_churn,
+]
+
+
+# ----------------------------------------------------------- suite + schema
+
+
+def run_suite(quick: bool = False) -> Dict[str, Any]:
+    t0 = time.perf_counter()
+    workloads: List[Dict[str, Any]] = []
+    for bench in WORKLOADS:
+        print(f"[perf] running {bench.__name__} ...", flush=True)
+        workloads.append(bench(quick))
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "suite": "perf_harness",
+        "quick": quick,
+        "total_wall_time_s": time.perf_counter() - t0,
+        "workloads": workloads,
+    }
+
+
+def validate_results(results: Dict[str, Any]) -> List[str]:
+    """Pure-python schema check (no external deps); returns problems."""
+    errors: List[str] = []
+
+    def expect(cond, msg):
+        if not cond:
+            errors.append(msg)
+
+    expect(isinstance(results, dict), "top level must be an object")
+    if not isinstance(results, dict):
+        return errors
+    expect(results.get("schema_version") == SCHEMA_VERSION,
+           f"schema_version must be {SCHEMA_VERSION}")
+    expect(results.get("suite") == "perf_harness", "suite must be 'perf_harness'")
+    expect(isinstance(results.get("quick"), bool), "quick must be a bool")
+    expect(isinstance(results.get("total_wall_time_s"), (int, float)),
+           "total_wall_time_s must be a number")
+    workloads = results.get("workloads")
+    expect(isinstance(workloads, list) and len(workloads) >= 4,
+           "workloads must be a list with >= 4 entries")
+    for i, wl in enumerate(workloads or []):
+        where = f"workloads[{i}]"
+        if not isinstance(wl, dict):
+            errors.append(f"{where} must be an object")
+            continue
+        expect(isinstance(wl.get("name"), str) and wl["name"],
+               f"{where}.name must be a non-empty string")
+        for key in ("throughput_gbps", "ops_per_s"):
+            value = wl.get(key)
+            expect(value is None or (isinstance(value, (int, float)) and value >= 0),
+                   f"{where}.{key} must be null or a non-negative number")
+        expect(wl.get("throughput_gbps") is not None or wl.get("ops_per_s") is not None,
+               f"{where} needs throughput_gbps or ops_per_s")
+        latency = wl.get("latency_ns")
+        if latency is not None:
+            expect(isinstance(latency, dict)
+                   and {"p50", "p99", "mean"} <= set(latency)
+                   and all(isinstance(latency[k], (int, float)) for k in
+                           ("p50", "p99", "mean")),
+                   f"{where}.latency_ns needs numeric p50/p99/mean")
+        for key in ("sim_time_ns", "wall_time_s"):
+            expect(isinstance(wl.get(key), (int, float)) and wl[key] >= 0,
+                   f"{where}.{key} must be a non-negative number")
+        expect(isinstance(wl.get("detail"), dict), f"{where}.detail must be an object")
+    names = [wl.get("name") for wl in workloads or [] if isinstance(wl, dict)]
+    expect(len(names) == len(set(names)), "workload names must be unique")
+    return errors
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="shrink workloads for CI smoke runs")
+    parser.add_argument("--out", default=DEFAULT_OUT,
+                        help="output JSON path (default: repo-root BENCH_PR2.json)")
+    parser.add_argument("--validate", metavar="FILE",
+                        help="validate an existing result file and exit")
+    args = parser.parse_args(argv)
+
+    if args.validate:
+        with open(args.validate) as fh:
+            problems = validate_results(json.load(fh))
+        for problem in problems:
+            print(f"[perf] schema error: {problem}", file=sys.stderr)
+        print(f"[perf] {args.validate}: "
+              + ("INVALID" if problems else "valid"))
+        return 1 if problems else 0
+
+    results = run_suite(quick=args.quick)
+    problems = validate_results(results)
+    if problems:
+        for problem in problems:
+            print(f"[perf] schema error: {problem}", file=sys.stderr)
+        return 1
+    out = os.path.abspath(args.out)
+    with open(out, "w") as fh:
+        json.dump(results, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    for wl in results["workloads"]:
+        rate = (f"{wl['throughput_gbps']:.2f} GB/s" if wl["throughput_gbps"]
+                is not None else f"{wl['ops_per_s']:.1f} ops/s")
+        print(f"[perf] {wl['name']:<16} {rate:>14}  wall {wl['wall_time_s']:.2f}s")
+    print(f"[perf] wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

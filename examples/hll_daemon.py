@@ -27,7 +27,9 @@ from repro import (
     ShellConfig,
 )
 from repro.apps import AesEcbApp, HllApp
+from repro.sim import Tracer
 from repro.synth import BuildFlow, LockedShellCheckpoint, modules_for_services
+from repro.telemetry import SpanRecorder
 
 
 def make_app_bitstream(shell, app_names):
@@ -49,24 +51,31 @@ def main() -> None:
     hll_bitstream = make_app_bitstream(shell, ["hll"])
     aes_bitstream = make_app_bitstream(shell, ["aes_ecb"])
     loaded = {"kernel": None}
+    # A long-lived daemon must not accumulate trace records forever: keep
+    # only the most recent ones in a ring buffer and count the rest.
+    tracer = Tracer(max_records=16)
+    spans = SpanRecorder(env, tracer=tracer)
 
-    def ensure_kernel(name, bitstream, app_factory):
+    def ensure_kernel(name, bitstream, app_factory, parent=None):
         """Daemon logic: PR the kernel in only when the request needs it."""
         if loaded["kernel"] == name:
             print(f"  [{env.now / 1e6:8.2f} ms] {name} already resident")
             return
         start = env.now
+        span = spans.begin("daemon", f"load:{name}", parent=parent)
         # Daemon mode: bitstreams are kept in memory (paper §9.3/§9.6),
         # so the load pays only copy-to-kernel + ICAP (~57 ms for HLL).
         yield env.process(
             driver.reconfigure_app(bitstream, 0, app_factory(), cached=True)
         )
         loaded["kernel"] = name
+        spans.finish(span)
         print(f"  [{env.now / 1e6:8.2f} ms] loaded {name} via partial "
               f"reconfiguration in {(env.now - start) / 1e6:.1f} ms")
 
     def hll_request(ct, values):
-        yield env.process(ensure_kernel("hll", hll_bitstream, HllApp))
+        span = spans.begin("daemon", "hll_request")
+        yield env.process(ensure_kernel("hll", hll_bitstream, HllApp, parent=span))
         yield from ct.set_csr(1, 0)  # reset the sketch between requests
         payload = struct.pack(f"<{len(values)}I", *values)
         buf = yield from ct.get_mem(max(4096, len(payload)))
@@ -76,10 +85,14 @@ def main() -> None:
         )
         _ts, estimate = yield from ct.wait_interrupt()
         ct.free_mem(buf)
+        spans.finish(span)
         return estimate
 
     def aes_request(ct, nbytes):
-        yield env.process(ensure_kernel("aes_ecb", aes_bitstream, AesEcbApp))
+        span = spans.begin("daemon", "aes_request")
+        yield env.process(
+            ensure_kernel("aes_ecb", aes_bitstream, AesEcbApp, parent=span)
+        )
         src = yield from ct.get_mem(nbytes)
         dst = yield from ct.get_mem(nbytes)
         sg = SgEntry(local=LocalSg(src_addr=src.vaddr, src_len=nbytes,
@@ -87,6 +100,7 @@ def main() -> None:
         yield from ct.invoke(Oper.LOCAL_TRANSFER, sg)
         ct.free_mem(src)
         ct.free_mem(dst)
+        spans.finish(span)
 
     def clients():
         ct = CThread(driver, 0, pid=11)
@@ -111,6 +125,10 @@ def main() -> None:
 
     print("on-demand kernel daemon (vFPGA 0 starts empty):")
     env.run(env.process(clients()))
+    print("\nper-component span time (request vs reconfiguration):")
+    print(spans.format())
+    print(f"trace ring buffer: {len(tracer.records)} kept, "
+          f"{tracer.dropped} dropped")
 
 
 if __name__ == "__main__":

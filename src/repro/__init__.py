@@ -38,6 +38,13 @@ from .driver import Driver
 from .faults import FaultInjector, FaultPlan, FaultRule, RetryPolicy
 from .mem import AllocType, MemLocation, TlbConfig
 from .sim import Environment
+from .telemetry import (
+    MetricsRegistry,
+    SimProfiler,
+    SpanRecorder,
+    collect_card_metrics,
+    collect_cluster_metrics,
+)
 
 __version__ = "2.0.0"
 
@@ -70,5 +77,10 @@ __all__ = [
     "FaultRule",
     "FaultInjector",
     "RetryPolicy",
+    "MetricsRegistry",
+    "SimProfiler",
+    "SpanRecorder",
+    "collect_card_metrics",
+    "collect_cluster_metrics",
     "__version__",
 ]

@@ -20,6 +20,7 @@ from ..core.vfpga import UserApp
 from ..driver.driver import Driver
 from ..sim.engine import Environment, Event
 from ..sim.resources import Store
+from ..telemetry.metrics import Histogram, MetricsRegistry
 
 __all__ = ["AppScheduler", "SchedulerError", "KernelRegistration"]
 
@@ -73,6 +74,18 @@ class AppScheduler:
         self.loaded_app: Optional[UserApp] = None
         self.reconfigurations = 0
         self.requests_served = 0
+        #: Requests whose reconfiguration exhausted its retries; each one
+        #: failed cleanly back to its submitter while the loop lived on.
+        self.reconfig_failures = 0
+        #: Requests served on the already-resident kernel (no PR needed).
+        self.affinity_hits = 0
+        self.queue_depth_high_water = 0
+        #: Time from submit() to being picked, in ns (telemetry).
+        self.queue_wait = Histogram.exponential("scheduler.queue_wait_ns")
+        #: Consecutive times the current queue head has been bypassed by a
+        #: resident-kernel request; capped at ``affinity_window``.
+        self._head_bypasses = 0
+        driver.attach_scheduler(self)
         self.env.process(self._scheduler_loop(), name=f"sched-v{vfpga_id}")
 
     # --------------------------------------------------------------- admin
@@ -96,6 +109,8 @@ class AppScheduler:
             kernel=kernel, body=body, done=Event(self.env), submitted_at=self.env.now
         )
         self._queue.append(request)
+        if len(self._queue) > self.queue_depth_high_water:
+            self.queue_depth_high_water = len(self._queue)
         yield self._wakeup.put(object())
         result = yield request.done
         return result
@@ -103,12 +118,25 @@ class AppScheduler:
     # ------------------------------------------------------------ scheduling
 
     def _pick(self) -> _Request:
-        """FCFS with bounded affinity for the resident kernel."""
-        if self.loaded is not None:
+        """FCFS with bounded affinity for the resident kernel.
+
+        The head of the queue may be bypassed by resident-kernel requests
+        at most ``affinity_window`` consecutive times; after that it is
+        served unconditionally, so a steady stream of resident requests
+        can never starve a pending kernel switch.
+        """
+        head = self._queue[0]
+        if (
+            self.loaded is not None
+            and head.kernel != self.loaded
+            and self._head_bypasses < self.affinity_window
+        ):
             for request in self._queue[: self.affinity_window]:
                 if request.kernel == self.loaded:
                     self._queue.remove(request)
+                    self._head_bypasses += 1
                     return request
+        self._head_bypasses = 0
         return self._queue.pop(0)
 
     def _scheduler_loop(self) -> Generator:
@@ -117,19 +145,30 @@ class AppScheduler:
             if not self._queue:
                 continue
             request = self._pick()
+            self.queue_wait.observe(self.env.now - request.submitted_at)
             if request.kernel != self.loaded:
                 registration = self._kernels[request.kernel]
-                yield self.env.process(
-                    self.driver.reconfigure_app(
-                        registration.bitstream,
-                        self.vfpga_id,
-                        registration.factory(),
-                        cached=self.cached_bitstreams,
+                try:
+                    yield self.env.process(
+                        self.driver.reconfigure_app(
+                            registration.bitstream,
+                            self.vfpga_id,
+                            registration.factory(),
+                            cached=self.cached_bitstreams,
+                        )
                     )
-                )
+                except Exception as exc:
+                    # A reconfiguration that exhausted the driver's retries
+                    # fails only this request; the loop keeps serving (the
+                    # region still holds the last-good kernel, if any).
+                    self.reconfig_failures += 1
+                    request.done.fail(exc)
+                    continue
                 self.loaded = request.kernel
                 self.loaded_app = self.driver.shell.vfpgas[self.vfpga_id].app
                 self.reconfigurations += 1
+            else:
+                self.affinity_hits += 1
             try:
                 result = yield self.env.process(request.body(self.loaded_app))
             except Exception as exc:  # surface failures to the submitter
@@ -137,3 +176,22 @@ class AppScheduler:
             else:
                 self.requests_served += 1
                 request.done.succeed(result)
+
+    # ------------------------------------------------------------ telemetry
+
+    def export_metrics(self, registry: MetricsRegistry) -> None:
+        """Fold this scheduler's counters into a card-level registry.
+
+        Additive (``inc``/``merge``) so several schedulers — one per
+        vFPGA region — aggregate into one ``scheduler`` domain.
+        """
+        registry.counter("scheduler.reconfigurations").inc(self.reconfigurations)
+        registry.counter("scheduler.requests_served").inc(self.requests_served)
+        registry.counter("scheduler.reconfig_failures").inc(self.reconfig_failures)
+        registry.counter("scheduler.affinity_hits").inc(self.affinity_hits)
+        depth = registry.gauge("scheduler.queue_depth")
+        depth.add(len(self._queue))
+        depth.high_water = max(depth.high_water, self.queue_depth_high_water)
+        registry.histogram(
+            "scheduler.queue_wait_ns", self.queue_wait.bounds
+        ).merge(self.queue_wait)

@@ -115,6 +115,14 @@ class Driver:
         self.reconfig_retries = 0
         self.irq_timeouts = 0
         self.invoke_timeouts = 0
+        #: AppSchedulers driving this card's regions; they register
+        #: themselves so card_report() can harvest their telemetry.
+        self.schedulers: List = []
+
+    def attach_scheduler(self, scheduler) -> None:
+        """Register an :class:`repro.api.AppScheduler` for telemetry."""
+        if scheduler not in self.schedulers:
+            self.schedulers.append(scheduler)
 
     def attach_gpu(self, gpu) -> None:
         """Register a GPU as a shared-virtual-memory target (§6.1)."""

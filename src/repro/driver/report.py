@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Any, Dict
 
 from ..core.interfaces import StreamType
+from ..telemetry.collect import collect_card_metrics
 from .driver import Driver
 
 __all__ = ["card_report", "format_report"]
@@ -57,6 +58,9 @@ def card_report(driver: Driver) -> Dict[str, Any]:
             "writebacks": {name: wb.count for name, wb in xdma.writebacks.items()},
         },
         "faults": _fault_section(driver),
+        # The statistics-register view: every domain's live counters under
+        # canonical dot-path names (see repro.telemetry).
+        "telemetry": collect_card_metrics(driver).snapshot(),
         "memory": {
             "page_faults": driver.page_faults,
             "tlb_walks": driver.tlb_walks,

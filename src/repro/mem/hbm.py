@@ -65,6 +65,9 @@ class HbmController:
         self._channels = [Resource(env, capacity=1) for _ in range(config.num_channels)]
         self.bytes_read = 0
         self.bytes_written = 0
+        #: Per-pseudo-channel access counts: striping skew shows up here
+        #: long before it shows up as a throughput regression.
+        self.channel_accesses = [0] * config.num_channels
         #: Armed :class:`repro.faults.FaultInjector`, or ``None``.
         self.faults = None
         self.ecc_corrected = 0
@@ -88,6 +91,7 @@ class HbmController:
     # -- timed access --------------------------------------------------------
 
     def _channel_access(self, channel: int, nbytes: int) -> Generator:
+        self.channel_accesses[channel] += 1
         grant = self._channels[channel].request()
         yield grant
         try:

@@ -125,6 +125,9 @@ class RdmaStack:
             "naks_received": 0,
             "acks_sent": 0,
         }
+        #: Per-QP telemetry: completed verbs and payload bytes, the
+        #: simulation's per-QP statistics registers.
+        self.qp_stats: Dict[int, Dict[str, int]] = {}
         env.process(self._rx_loop(), name=f"{name}-rx")
         env.process(self._retransmit_timer(), name=f"{name}-timer")
 
@@ -175,7 +178,13 @@ class RdmaStack:
         self._recv_queues[qpn] = Store(self.env)
         self._responder_msg[qpn] = _ResponderMsg()
         self._nak_sent[qpn] = False
+        self.qp_stats[qpn] = {"ops": 0, "bytes": 0}
         return qp
+
+    def _complete_op(self, qpn: int, nbytes: int) -> None:
+        per_qp = self.qp_stats.setdefault(qpn, {"ops": 0, "bytes": 0})
+        per_qp["ops"] += 1
+        per_qp["bytes"] += nbytes
 
     def _qp(self, qpn: int) -> QueuePair:
         qp = self.qps.get(qpn)
@@ -261,6 +270,7 @@ class RdmaStack:
             yield from self._send_packet(packet)
             offset += seg_len
         yield done
+        self._complete_op(qpn, length)
         completion = Completion(wr_id=wr_id, opcode="WRITE", length=length)
         self.cq.put(completion)
         return completion
@@ -307,6 +317,7 @@ class RdmaStack:
         self._retransmit[qpn][start_psn] = packet
         yield from self._send_packet(packet)
         yield done
+        self._complete_op(qpn, length)
         completion = Completion(wr_id=wr_id, opcode="READ", length=length)
         self.cq.put(completion)
         return completion
@@ -355,6 +366,7 @@ class RdmaStack:
         self._retransmit[qpn][psn] = packet
         yield from self._send_packet(packet)
         original = yield done
+        self._complete_op(qpn, 8)
         self.cq.put(Completion(wr_id=wr_id, opcode=RoceOpcode.name(opcode), length=8))
         return original
 
@@ -393,6 +405,7 @@ class RdmaStack:
             yield from self._send_packet(packet)
             offset += seg_len
         yield done
+        self._complete_op(qpn, len(payload))
         completion = Completion(wr_id=wr_id, opcode="SEND", length=len(payload))
         self.cq.put(completion)
         return completion

@@ -47,6 +47,17 @@ class Switch:
         self.reordered = 0
         self.unroutable = 0
 
+    def counters(self) -> Dict[str, int]:
+        """Telemetry snapshot of the fabric counters."""
+        return {
+            "forwarded": self.forwarded,
+            "dropped": self.dropped,
+            "corrupted": self.corrupted,
+            "duplicated": self.duplicated,
+            "reordered": self.reordered,
+            "unroutable": self.unroutable,
+        }
+
     @property
     def drop_fn(self) -> Optional[Callable[[RocePacket], bool]]:
         """Legacy fault hook: return True to drop the frame (deprecated)."""

@@ -45,11 +45,22 @@ class PcieLink:
         self.config = config
         self._h2c = Resource(env, capacity=1)
         self._c2h = Resource(env, capacity=1)
+        self._directions = {"h2c": self._h2c, "c2h": self._c2h}
         self.h2c_bytes = 0
         self.c2h_bytes = 0
+        self.h2c_transfers = 0
+        self.c2h_transfers = 0
+        #: Deepest occupancy seen per direction (holder + queued DMA
+        #: descriptors) — the link-level analogue of credit telemetry.
+        self.in_flight_high_water = {"h2c": 0, "c2h": 0}
         #: Armed :class:`repro.faults.FaultInjector`, or ``None``.
         self.faults = None
         self.replays = 0
+
+    def in_flight(self, direction: str) -> int:
+        """Transfers currently holding or queued for one direction."""
+        resource = self._directions[direction]
+        return len(resource.users) + len(resource._waiting)
 
     def _replay_penalty_ns(self, direction: str) -> float:
         """Link-layer fault check: a replayed TLP costs extra latency but
@@ -59,8 +70,12 @@ class PcieLink:
             return self.config.replay_latency_ns
         return 0.0
 
-    def _occupy(self, direction: Resource, duration_ns: float) -> Generator:
+    def _occupy(self, name: str, duration_ns: float) -> Generator:
+        direction = self._directions[name]
         grant = direction.request()
+        depth = self.in_flight(name)
+        if depth > self.in_flight_high_water[name]:
+            self.in_flight_high_water[name] = depth
         yield grant
         try:
             yield self.env.timeout(duration_ns)
@@ -73,8 +88,9 @@ class PcieLink:
         if overhead:
             duration += self.config.descriptor_overhead_ns
         duration += self._replay_penalty_ns("h2c")
-        yield from self._occupy(self._h2c, duration)
+        yield from self._occupy("h2c", duration)
         self.h2c_bytes += nbytes
+        self.h2c_transfers += 1
 
     def c2h(self, nbytes: int, overhead: bool = True) -> Generator:
         """Move ``nbytes`` from the card to host memory."""
@@ -82,5 +98,6 @@ class PcieLink:
         if overhead:
             duration += self.config.descriptor_overhead_ns
         duration += self._replay_penalty_ns("c2h")
-        yield from self._occupy(self._c2h, duration)
+        yield from self._occupy("c2h", duration)
         self.c2h_bytes += nbytes
+        self.c2h_transfers += 1

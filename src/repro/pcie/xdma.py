@@ -78,6 +78,10 @@ class Xdma:
         #: Armed :class:`repro.faults.FaultInjector`, or ``None``.
         self.faults = None
         self.interrupts_lost = 0
+        #: Per-channel-group byte telemetry (the host streaming channel is
+        #: already counted by the link's h2c/c2h totals).
+        self.migration_bytes = 0
+        self.bitstream_bytes = 0
 
     # -- host streaming + migration channels --------------------------------
 
@@ -97,12 +101,14 @@ class Xdma:
             yield from self.link.h2c(nbytes)
         else:
             yield from self.link.c2h(nbytes)
+        self.migration_bytes += nbytes
 
     # -- utility channel -----------------------------------------------------
 
     def download_bitstream(self, nbytes: int) -> Generator:
         """Stream a partial bitstream from host memory (feeds the ICAP)."""
         yield from self.link.h2c(nbytes)
+        self.bitstream_bytes += nbytes
 
     def writeback(self, name: str) -> Generator:
         """Update a host-mapped completion counter (avoids PCIe polling)."""

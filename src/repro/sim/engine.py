@@ -267,6 +267,13 @@ class Environment:
         self._queue: List = []
         self._seq = itertools.count()
         self._active = True
+        #: Telemetry: events dispatched and deepest queue seen.  Plain
+        #: ints so the hot loop pays one increment / one compare.
+        self.events_processed = 0
+        self.queue_high_water = 0
+        #: Optional :class:`repro.telemetry.SimProfiler`; when attached it
+        #: runs the callback loop under a per-component stopwatch.
+        self.profiler = None
 
     # -- scheduling ------------------------------------------------------
 
@@ -277,6 +284,8 @@ class Environment:
         heapq.heappush(
             self._queue, (self.now + delay, priority, next(self._seq), event)
         )
+        if len(self._queue) > self.queue_high_water:
+            self.queue_high_water = len(self._queue)
 
     # -- public factory helpers -----------------------------------------
 
@@ -303,9 +312,13 @@ class Environment:
             raise SimulationError("no more events")
         when, _prio, _seq, event = heapq.heappop(self._queue)
         self.now = when
+        self.events_processed += 1
         callbacks, event.callbacks = event.callbacks, None
-        for callback in callbacks:
-            callback(event)
+        if self.profiler is not None:
+            self.profiler.run_callbacks(event, callbacks)
+        else:
+            for callback in callbacks:
+                callback(event)
         if event._ok is False and not getattr(event, "_defused", False):
             # An unhandled failure propagates out of the simulation.
             raise event._value

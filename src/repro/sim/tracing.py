@@ -7,6 +7,7 @@ into the series the paper's figures plot.
 from __future__ import annotations
 
 import math
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
@@ -24,14 +25,28 @@ class TraceRecord:
 
 
 class Tracer:
-    """Collects trace records; filterable by source/kind."""
+    """Collects trace records; filterable by source/kind.
 
-    def __init__(self, enabled: bool = True):
+    By default the record list is unbounded, which is what benchmarks
+    want (complete data, bounded runs).  Long-running daemon and chaos
+    workloads instead pass ``max_records`` to get a ring buffer: the
+    newest ``max_records`` records are kept, older ones are discarded and
+    counted in ``dropped`` — memory stays flat no matter how long the
+    simulation runs.
+    """
+
+    def __init__(self, enabled: bool = True, max_records: Optional[int] = None):
+        if max_records is not None and max_records <= 0:
+            raise ValueError("max_records must be positive (or None for unbounded)")
         self.enabled = enabled
-        self.records: List[TraceRecord] = []
+        self.max_records = max_records
+        self.dropped = 0
+        self.records = [] if max_records is None else deque(maxlen=max_records)
 
     def emit(self, time: float, source: str, kind: str, payload: Any = None) -> None:
         if self.enabled:
+            if self.max_records is not None and len(self.records) == self.max_records:
+                self.dropped += 1
             self.records.append(TraceRecord(time, source, kind, payload))
 
     def filter(self, source: Optional[str] = None, kind: Optional[str] = None) -> List[TraceRecord]:
@@ -103,11 +118,21 @@ class LatencyStats:
         return math.sqrt(sum((s - mu) ** 2 for s in self.samples) / (len(self.samples) - 1))
 
     def percentile(self, p: float) -> float:
+        """Linear interpolation between closest ranks (numpy's default).
+
+        Nearest-rank-via-``round()`` was subtly wrong here: Python rounds
+        half to even, so p50 of an even-length sample landed on whichever
+        neighbouring rank was even — inconsistent across sample sizes.
+        """
         if not self.samples:
             return 0.0
         ordered = sorted(self.samples)
-        idx = min(len(ordered) - 1, max(0, int(round(p / 100.0 * (len(ordered) - 1)))))
-        return ordered[idx]
+        rank = max(0.0, min(100.0, p)) / 100.0 * (len(ordered) - 1)
+        lower = int(rank)
+        fraction = rank - lower
+        if fraction == 0.0:
+            return ordered[lower]
+        return ordered[lower] + fraction * (ordered[lower + 1] - ordered[lower])
 
 
 def mean_std(values: Iterable[float]) -> Tuple[float, float]:

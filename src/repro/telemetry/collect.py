@@ -1,0 +1,107 @@
+"""Harvest one card's live hardware counters into a MetricsRegistry.
+
+Every hardware model keeps plain integer counters on itself (the same
+pattern the fault subsystem uses) so the hot paths never pay for metric
+plumbing; this module is the read side that folds them into the canonical
+``domain.metric`` namespace.  ``card_report()`` calls it to populate the
+report's ``telemetry`` section, and a cluster can ``merge()`` the
+per-node registries for a fabric-wide view.
+"""
+
+from __future__ import annotations
+
+from .metrics import MetricsRegistry
+
+__all__ = ["collect_card_metrics", "collect_cluster_metrics"]
+
+
+def _set_counter(registry: MetricsRegistry, name: str, value: int) -> None:
+    counter = registry.counter(name)
+    counter.value = int(value)
+
+
+def collect_card_metrics(driver, registry: MetricsRegistry = None) -> MetricsRegistry:
+    """Snapshot one driver/shell pair into (a fresh or given) registry."""
+    reg = registry if registry is not None else MetricsRegistry()
+    shell = driver.shell
+    env = driver.env
+    xdma = shell.static.xdma
+    link = xdma.link
+
+    # -- sim: the engine itself ------------------------------------------
+    _set_counter(reg, "sim.events_processed", env.events_processed)
+    queue = reg.gauge("sim.event_queue")
+    queue.set(len(env._queue))
+    queue.high_water = max(queue.high_water, env.queue_high_water)
+
+    # -- pcie: link + XDMA channel groups --------------------------------
+    _set_counter(reg, "pcie.h2c_bytes", link.h2c_bytes)
+    _set_counter(reg, "pcie.c2h_bytes", link.c2h_bytes)
+    _set_counter(reg, "pcie.h2c_transfers", link.h2c_transfers)
+    _set_counter(reg, "pcie.c2h_transfers", link.c2h_transfers)
+    _set_counter(reg, "pcie.replays", link.replays)
+    for direction in ("h2c", "c2h"):
+        gauge = reg.gauge(f"pcie.{direction}_in_flight")
+        gauge.set(link.in_flight(direction))
+        gauge.high_water = max(gauge.high_water, link.in_flight_high_water[direction])
+    _set_counter(reg, "pcie.migrated_bytes", xdma.migration_bytes)
+    _set_counter(reg, "pcie.bitstream_bytes", xdma.bitstream_bytes)
+    _set_counter(reg, "pcie.interrupts_raised", xdma.interrupts_raised)
+    _set_counter(reg, "pcie.interrupts_lost", xdma.interrupts_lost)
+
+    # -- mem: HBM + TLB + driver paging ----------------------------------
+    hbm = shell.dynamic.hbm
+    if hbm is not None:
+        _set_counter(reg, "mem.hbm_bytes_read", hbm.bytes_read)
+        _set_counter(reg, "mem.hbm_bytes_written", hbm.bytes_written)
+        _set_counter(reg, "mem.hbm_channel_accesses", sum(hbm.channel_accesses))
+        busiest = reg.gauge("mem.hbm_busiest_channel_accesses")
+        busiest.set(max(hbm.channel_accesses, default=0))
+        _set_counter(reg, "mem.hbm_ecc_corrected", hbm.ecc_corrected)
+        _set_counter(reg, "mem.hbm_ecc_uncorrected", hbm.ecc_uncorrected)
+    tlb_hits = tlb_misses = tlb_evictions = 0
+    for mmu in shell.dynamic.mmus.values():
+        tlb_hits += mmu.tlb.hits
+        tlb_misses += mmu.tlb.misses
+        tlb_evictions += mmu.tlb.evictions
+    _set_counter(reg, "mem.tlb_hits", tlb_hits)
+    _set_counter(reg, "mem.tlb_misses", tlb_misses)
+    _set_counter(reg, "mem.tlb_evictions", tlb_evictions)
+    _set_counter(reg, "mem.page_faults", driver.page_faults)
+    _set_counter(reg, "mem.tlb_walks", driver.tlb_walks)
+    _set_counter(reg, "mem.migrated_bytes", driver.migrated_bytes)
+
+    # -- net: RDMA / TCP stacks (joins the PR 1 fault counters) ----------
+    rdma = shell.dynamic.rdma
+    if rdma is not None:
+        for key, value in rdma.stats.items():
+            _set_counter(reg, f"net.rdma_{key}", value)
+        for qpn in sorted(rdma.qp_stats):
+            per_qp = rdma.qp_stats[qpn]
+            _set_counter(reg, f"net.qp.{qpn}.ops", per_qp["ops"])
+            _set_counter(reg, f"net.qp.{qpn}.bytes", per_qp["bytes"])
+    tcp = shell.dynamic.tcp
+    if tcp is not None:
+        for key, value in tcp.stats.items():
+            _set_counter(reg, f"net.tcp_{key}", value)
+
+    # -- scheduler: every AppScheduler attached to this driver -----------
+    for scheduler in driver.schedulers:
+        scheduler.export_metrics(reg)
+
+    return reg
+
+
+def collect_cluster_metrics(cluster) -> MetricsRegistry:
+    """Fabric-wide roll-up: merge every node's registry, add the switch."""
+    reg = MetricsRegistry()
+    for node in cluster.nodes:
+        reg.merge(collect_card_metrics(node.driver))
+    switch = cluster.switch
+    _set_counter(reg, "net.switch_forwarded", switch.forwarded)
+    _set_counter(reg, "net.switch_dropped", switch.dropped)
+    _set_counter(reg, "net.switch_corrupted", switch.corrupted)
+    _set_counter(reg, "net.switch_duplicated", switch.duplicated)
+    _set_counter(reg, "net.switch_reordered", switch.reordered)
+    _set_counter(reg, "net.switch_unroutable", switch.unroutable)
+    return reg

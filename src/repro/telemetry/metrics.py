@@ -1,0 +1,254 @@
+"""Card-wide metrics: counters, gauges and mergeable fixed-bucket histograms.
+
+The real Coyote v2 shell exposes run-time statistics and debug registers
+per vFPGA (readable over the shell-control BAR) so operators can observe
+a multi-tenant card.  This module is the simulation's equivalent register
+file: a :class:`MetricsRegistry` of named metrics that every layer of the
+stack writes into and ``card_report()`` / the perf harness read out.
+
+Naming scheme (see DESIGN.md): metric names are dot-separated
+``domain.metric`` paths, with the first segment naming the hardware
+domain (``sim``, ``pcie``, ``mem``, ``net``, ``scheduler``, ...).
+``MetricsRegistry.snapshot()`` folds the paths back into nested dicts so
+the telemetry section of a card report mirrors the domain structure.
+
+Histograms use *fixed* bucket bounds so that two registries — e.g. from
+two nodes of a cluster, or two runs of the same benchmark — can be merged
+bucket-by-bucket without resampling, exactly like hardware counters that
+are only ever added up.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+class Counter:
+    """A monotonically increasing event count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        self.value += amount
+
+    def merge(self, other: "Counter") -> None:
+        self.value += other.value
+
+    def to_value(self) -> int:
+        return self.value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name}={self.value})"
+
+
+class Gauge:
+    """A point-in-time level that also remembers its high-water mark."""
+
+    __slots__ = ("name", "value", "high_water")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+        self.high_water = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        if value > self.high_water:
+            self.high_water = value
+
+    def add(self, delta: float) -> None:
+        self.set(self.value + delta)
+
+    def merge(self, other: "Gauge") -> None:
+        # Levels add (e.g. in-flight across nodes); high-water takes max.
+        self.value += other.value
+        self.high_water = max(self.high_water, other.high_water)
+
+    def to_value(self) -> Dict[str, float]:
+        return {"value": self.value, "high_water": self.high_water}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Gauge({self.name}={self.value}, hw={self.high_water})"
+
+
+class Histogram:
+    """Fixed-bucket histogram, mergeable like a bank of hardware counters.
+
+    ``bounds`` are the inclusive upper edges of each bucket; one implicit
+    overflow bucket catches everything above the last bound.  Percentiles
+    are estimated by linear interpolation inside the owning bucket, which
+    is as good as fixed-bucket data allows and — unlike sample lists —
+    costs O(buckets) memory no matter how long the run is.
+    """
+
+    __slots__ = ("name", "bounds", "buckets", "count", "total", "min", "max")
+
+    def __init__(self, name: str, bounds: Sequence[float]):
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        ordered = tuple(float(b) for b in bounds)
+        if list(ordered) != sorted(set(ordered)):
+            raise ValueError("bounds must be strictly increasing")
+        self.name = name
+        self.bounds = ordered
+        self.buckets = [0] * (len(ordered) + 1)  # +1 overflow
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    @classmethod
+    def exponential(
+        cls, name: str, start: float = 1e3, factor: float = 10.0, count: int = 7
+    ) -> "Histogram":
+        """Buckets ``start, start*factor, ...`` — the default ns-latency
+        scale spans 1 us .. 1 s."""
+        return cls(name, [start * factor**i for i in range(count)])
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.buckets[i] += 1
+                return
+        self.buckets[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Linear-interpolated percentile estimate from the buckets."""
+        if not self.count:
+            return 0.0
+        target = max(0.0, min(100.0, p)) / 100.0 * self.count
+        cumulative = 0
+        lower = 0.0
+        for i, filled in enumerate(self.buckets):
+            if not filled:
+                continue
+            upper = self.bounds[i] if i < len(self.bounds) else (self.max or lower)
+            if cumulative + filled >= target:
+                frac = (target - cumulative) / filled
+                lo = max(lower, self.min if i == 0 and self.min is not None else lower)
+                return lo + frac * (min(upper, self.max or upper) - lo)
+            cumulative += filled
+            lower = upper
+        return self.max if self.max is not None else 0.0
+
+    def merge(self, other: "Histogram") -> None:
+        if other.bounds != self.bounds:
+            raise ValueError(
+                f"cannot merge histograms with different bounds "
+                f"({self.name!r} vs {other.name!r})"
+            )
+        for i, filled in enumerate(other.buckets):
+            self.buckets[i] += filled
+        self.count += other.count
+        self.total += other.total
+        if other.min is not None:
+            self.min = other.min if self.min is None else min(self.min, other.min)
+        if other.max is not None:
+            self.max = other.max if self.max is None else max(self.max, other.max)
+
+    def to_value(self) -> Dict[str, Any]:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.percentile(50),
+            "p99": self.percentile(99),
+            "buckets": dict(zip([*map(str, self.bounds), "+inf"], self.buckets)),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Histogram({self.name}, n={self.count}, mean={self.mean:.1f})"
+
+
+class MetricsRegistry:
+    """A named collection of metrics — the card's statistics register file.
+
+    Accessors are get-or-create, so components can write
+    ``registry.counter("pcie.replays").inc()`` without registration
+    ceremony; asking for an existing name with a different metric type is
+    an error (two components fighting over one register).
+    """
+
+    def __init__(self):
+        self._metrics: Dict[str, Any] = {}
+
+    def _get(self, name: str, kind: type, factory) -> Any:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = factory()
+            self._metrics[name] = metric
+        elif not isinstance(metric, kind):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(metric).__name__}, not {kind.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter, lambda: Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge, lambda: Gauge(name))
+
+    def histogram(self, name: str, bounds: Optional[Sequence[float]] = None) -> Histogram:
+        if bounds is not None:
+            return self._get(name, Histogram, lambda: Histogram(name, bounds))
+        return self._get(name, Histogram, lambda: Histogram.exponential(name))
+
+    def names(self) -> List[str]:
+        return sorted(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold another registry's values into this one (cluster roll-up)."""
+        for name, metric in other._metrics.items():
+            mine = self._metrics.get(name)
+            if mine is None:
+                # Re-create rather than alias, so later merges don't write
+                # through into the source registry.
+                if isinstance(metric, Counter):
+                    self.counter(name).merge(metric)
+                elif isinstance(metric, Gauge):
+                    self.gauge(name).merge(metric)
+                else:
+                    self.histogram(name, metric.bounds).merge(metric)
+            else:
+                mine.merge(metric)
+        return self
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Nested dict keyed by the dot-separated metric path segments."""
+        out: Dict[str, Any] = {}
+        for name in sorted(self._metrics):
+            parts = name.split(".")
+            node = out
+            for part in parts[:-1]:
+                node = node.setdefault(part, {})
+            node[parts[-1]] = self._metrics[name].to_value()
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MetricsRegistry({len(self._metrics)} metrics)"

@@ -104,3 +104,34 @@ def test_report_fault_section_under_injection():
     assert faults["injected"]["pcie.replay"]["fires"] == faults["pcie_replays"]
     # The per-section counters surface in the flattened text report too.
     assert "faults.pcie_replays" in format_report(report)
+
+
+def test_report_telemetry_mirrors_fault_counters():
+    """The telemetry section and the legacy sections read the same
+    underlying counters: injected PCIe replays show up in both."""
+    from repro.faults import FaultInjector, FaultPlan
+
+    env = Environment()
+    shell = Shell(env, ShellConfig(num_vfpgas=1))
+    driver = Driver(env, shell)
+    FaultInjector(FaultPlan.build(seed=3, pcie_replay=1.0)).arm(shell=shell)
+    shell.load_app(0, PassThroughApp())
+    ct = CThread(driver, 0, pid=11)
+
+    def main():
+        src = yield from ct.get_mem(4096)
+        dst = yield from ct.get_mem(4096)
+        sg = SgEntry(local=LocalSg(src_addr=src.vaddr, src_len=4096,
+                                   dst_addr=dst.vaddr, dst_len=4096))
+        yield from ct.invoke(Oper.LOCAL_TRANSFER, sg)
+
+    env.run(env.process(main()))
+    env.run()
+    report = card_report(driver)
+    telemetry = report["telemetry"]
+    assert telemetry["pcie"]["replays"] == report["faults"]["pcie_replays"] > 0
+    assert telemetry["pcie"]["h2c_bytes"] == report["pcie"]["h2c_bytes"]
+    assert telemetry["mem"]["page_faults"] == report["memory"]["page_faults"]
+    assert telemetry["sim"]["events_processed"] == env.events_processed
+    # Flattened view exposes the dot paths operators would grep for.
+    assert "telemetry.pcie.h2c_bytes" in format_report(report)

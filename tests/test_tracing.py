@@ -24,6 +24,25 @@ def test_tracer_disabled_drops_records():
     assert tracer.records == []
 
 
+def test_tracer_ring_buffer_bounds_memory():
+    tracer = Tracer(max_records=3)
+    for i in range(10):
+        tracer.emit(float(i), "daemon", "tick", i)
+    # Only the newest max_records survive; the rest are counted, not kept.
+    assert len(tracer.records) == 3
+    assert [r.payload for r in tracer.records] == [7, 8, 9]
+    assert tracer.dropped == 7
+    assert len(tracer.filter(source="daemon")) == 3
+    tracer.clear()
+    assert len(tracer.records) == 0
+    assert tracer.dropped == 7  # the drop ledger survives a clear
+
+
+def test_tracer_ring_buffer_validates_capacity():
+    with pytest.raises(ValueError):
+        Tracer(max_records=0)
+
+
 def test_throughput_meter():
     meter = ThroughputMeter("host")
     meter.record(1000, start=0.0, end=100.0)
@@ -49,7 +68,29 @@ def test_latency_stats():
     assert stats.std == pytest.approx(12.909, rel=1e-3)
     assert stats.percentile(0) == 10.0
     assert stats.percentile(100) == 40.0
-    assert stats.percentile(50) in (20.0, 30.0)
+    # Linear interpolation between closest ranks: p50 of an even-length
+    # sample is the midpoint, never a banker's-rounding coin flip.
+    assert stats.percentile(50) == pytest.approx(25.0)
+    assert stats.percentile(25) == pytest.approx(17.5)
+    assert stats.percentile(75) == pytest.approx(32.5)
+    assert stats.percentile(90) == pytest.approx(37.0)
+
+
+def test_latency_stats_percentile_consistent_ranks():
+    """p50 of [1..n] must track the true median for every parity of n."""
+    for n in (2, 3, 4, 5, 10, 11):
+        stats = LatencyStats()
+        for v in range(1, n + 1):
+            stats.record(float(v))
+        assert stats.percentile(50) == pytest.approx((1 + n) / 2.0), n
+
+
+def test_latency_stats_percentile_single_sample_and_clamping():
+    stats = LatencyStats()
+    stats.record(42.0)
+    assert stats.percentile(50) == 42.0
+    assert stats.percentile(-5) == 42.0
+    assert stats.percentile(250) == 42.0
 
 
 def test_latency_stats_empty():
