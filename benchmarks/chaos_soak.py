@@ -1,0 +1,175 @@
+#!/usr/bin/env python
+"""Chaos soak: the health-chaos scenario across many seeds, time-boxed.
+
+CI's ``chaos-soak`` job runs this to catch rare-schedule bugs the fixed
+test seeds miss: every seed arms ``app.hang`` + ``net.drop`` against a
+two-node cluster (compute on one region, RDMA across the lossy switch)
+and checks the safety invariants the unit tests assert for a single
+seed.  A per-seed wall-clock alarm converts any simulation livelock into
+a loud failure instead of a hung CI job.
+
+Usage::
+
+    python benchmarks/chaos_soak.py --seeds 25 --timeout 60
+"""
+
+from __future__ import annotations
+
+import argparse
+import signal
+import sys
+import time
+
+sys.path.insert(0, "src")
+
+from repro import Environment, Oper, RdmaSg, SgEntry  # noqa: E402
+from repro.apps import PassThroughApp  # noqa: E402
+from repro.cluster import FpgaCluster  # noqa: E402
+from repro.core import LocalSg, ServiceConfig  # noqa: E402
+from repro.driver.report import card_report  # noqa: E402
+from repro.faults import (  # noqa: E402
+    APP_HANG,
+    NET_DROP,
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+)
+from repro.health import (  # noqa: E402
+    DecoupledError,
+    HealthConfig,
+    HealthMonitor,
+    QuarantinedError,
+    RecoveredError,
+)
+from repro.net import RdmaConfig  # noqa: E402
+from repro.sim import AllOf  # noqa: E402
+
+
+class SoakTimeout(Exception):
+    """A single seed blew its wall-clock budget (likely a livelock)."""
+
+
+def _alarm(signum, frame):
+    raise SoakTimeout()
+
+
+def run_seed(seed: int) -> dict:
+    """One chaos scenario; returns a result row or raises on violation."""
+    env = Environment()
+    cluster = FpgaCluster(
+        env, 2,
+        services=ServiceConfig(
+            en_memory=True, en_rdma=True,
+            rdma=RdmaConfig(retransmit_timeout_ns=50_000),
+        ),
+    )
+    node = cluster[0]
+    HealthMonitor(node.driver, HealthConfig(
+        poll_interval_ns=5_000.0, deadline_ns=50_000.0, drain_ns=10_000.0,
+    ))
+    victim = node.shell.vfpgas[0]
+    plan = FaultPlan(
+        seed=seed,
+        rules=[
+            FaultRule(site=APP_HANG, at_events=(seed % 4,),
+                      match=lambda v: v is victim),
+            FaultRule(site=NET_DROP, probability=0.02 + (seed % 5) / 100.0),
+        ],
+    )
+    FaultInjector(plan).arm_cluster(cluster)
+    node.shell.load_app(0, PassThroughApp())
+    thread_a, thread_b = cluster.connect_qps(0, 1, pid_a=1, pid_b=2,
+                                             qpn_a=1, qpn_b=2)
+    payload = bytes((seed + i) % 256 for i in range(16_384))
+    attempts = []
+
+    def local_client():
+        src = yield from thread_a.get_mem(1 << 13)
+        dst = yield from thread_a.get_mem(1 << 13)
+        sg = SgEntry(local=LocalSg(src_addr=src.vaddr, src_len=1 << 13,
+                                   dst_addr=dst.vaddr, dst_len=1 << 13))
+        for _ in range(20):
+            try:
+                yield from thread_a.invoke(Oper.LOCAL_TRANSFER, sg)
+                attempts.append("ok")
+            except (RecoveredError, DecoupledError):
+                attempts.append("recovered")
+            except QuarantinedError:
+                attempts.append("quarantined")
+                return
+            if attempts.count("ok") >= 3:
+                return
+            yield env.timeout(50_000.0)
+
+    def rdma_client():
+        src = yield from thread_a.get_mem(len(payload))
+        dst = yield from thread_b.get_mem(len(payload))
+        thread_a.write_buffer(src.vaddr, payload)
+        yield from thread_a.invoke(
+            Oper.REMOTE_RDMA_WRITE,
+            SgEntry(rdma=RdmaSg(local_addr=src.vaddr, remote_addr=dst.vaddr,
+                                len=len(payload), qpn=1)),
+        )
+        return thread_b.read_buffer(dst.vaddr, len(payload))
+
+    local = env.process(local_client())
+    rdma = env.process(rdma_client())
+    env.run(AllOf(env, [local, rdma]))
+    env.run()  # must quiesce: parked monitor + parked retransmit timers
+
+    # --- invariants -----------------------------------------------------
+    if rdma.value != payload:
+        raise AssertionError(f"seed {seed}: RDMA payload corrupted")
+    if attempts.count("ok") < 3 and "quarantined" not in attempts:
+        raise AssertionError(f"seed {seed}: local client starved: {attempts}")
+    for pid, ctx in node.driver.processes.items():
+        if ctx.pending:
+            raise AssertionError(f"seed {seed}: pid {pid} left pending work")
+    health = card_report(node.driver)["health"]
+    if health["card"] not in ("healthy", "degraded", "quarantined"):
+        raise AssertionError(f"seed {seed}: bad card verdict {health['card']}")
+    return {
+        "seed": seed,
+        "card": health["card"],
+        "recoveries": node.driver.recovery.total_recoveries(),
+        "attempts": len(attempts),
+        "sim_ns": env.now,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seeds", type=int, default=25,
+                        help="number of seeds to soak (default 25)")
+    parser.add_argument("--timeout", type=int, default=60,
+                        help="wall-clock seconds allowed per seed")
+    args = parser.parse_args(argv)
+
+    signal.signal(signal.SIGALRM, _alarm)
+    failures = 0
+    for seed in range(args.seeds):
+        start = time.monotonic()
+        signal.alarm(args.timeout)
+        try:
+            row = run_seed(seed)
+        except SoakTimeout:
+            failures += 1
+            print(f"seed {seed:4d}  TIMEOUT after {args.timeout}s "
+                  "(simulation livelock?)", flush=True)
+            continue
+        except AssertionError as exc:
+            failures += 1
+            print(f"seed {seed:4d}  FAIL  {exc}", flush=True)
+            continue
+        finally:
+            signal.alarm(0)
+        elapsed = time.monotonic() - start
+        print(f"seed {seed:4d}  ok  card={row['card']:10s} "
+              f"recoveries={row['recoveries']} sim={row['sim_ns']:.0f}ns "
+              f"wall={elapsed:.1f}s", flush=True)
+    print(f"\n{args.seeds - failures}/{args.seeds} seeds clean")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

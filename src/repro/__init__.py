@@ -36,6 +36,15 @@ from .core import (
 )
 from .driver import Driver
 from .faults import FaultInjector, FaultPlan, FaultRule, RetryPolicy
+from .health import (
+    AdmissionError,
+    DecoupledError,
+    HealthConfig,
+    HealthMonitor,
+    HealthReport,
+    QuarantinedError,
+    RecoveredError,
+)
 from .mem import AllocType, MemLocation, TlbConfig
 from .sim import Environment
 from .telemetry import (
@@ -77,6 +86,13 @@ __all__ = [
     "FaultRule",
     "FaultInjector",
     "RetryPolicy",
+    "HealthMonitor",
+    "HealthConfig",
+    "HealthReport",
+    "RecoveredError",
+    "QuarantinedError",
+    "DecoupledError",
+    "AdmissionError",
     "MetricsRegistry",
     "SimProfiler",
     "SpanRecorder",

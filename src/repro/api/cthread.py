@@ -25,6 +25,7 @@ from ..core.interfaces import (
     StreamType,
 )
 from ..driver.driver import Driver, ProcessContext
+from ..health.errors import DecoupledError, QuarantinedError
 from ..mem.allocator import Allocation, AllocType
 from ..sim.engine import AnyOf, Environment
 
@@ -119,7 +120,15 @@ class CThread:
         With ``timeout_ns`` set, a stuck operation returns a
         :class:`CompletionEntry` with ``status == "timeout"`` instead of
         blocking forever; the default (``None``) waits indefinitely.
+
+        Invoking against a region under recovery fails fast with a typed
+        error instead of queuing work the reset would wipe anyway.
         """
+        region = self.driver.shell.vfpgas[self.vfpga_id]
+        if region.quarantined:
+            raise QuarantinedError(self.vfpga_id)
+        if region.decoupled:
+            raise DecoupledError(self.vfpga_id)
         if oper is Oper.LOCAL_TRANSFER:
             return (yield from self._local_transfer(sg.local, timeout_ns))
         elif oper is Oper.LOCAL_READ:
@@ -165,7 +174,7 @@ class CThread:
 
     def _timeout_entry(self, write: bool, wr_id: int, stream: StreamType) -> CompletionEntry:
         """Give up on a completion: deregister it and report the error."""
-        self.ctx.pending.pop((write, wr_id), None)
+        self.ctx.forget(write, wr_id)
         self.driver.invoke_timeouts += 1
         return CompletionEntry(
             vfpga_id=self.vfpga_id,
@@ -202,6 +211,8 @@ class CThread:
             if deadline is not None and self.env.now >= deadline:
                 return self._timeout_entry(write, wr_id, stream)
             yield self.env.timeout(POLL_INTERVAL_NS + CSR_READ_NS)
+        if not event.ok:
+            raise event.value  # e.g. RecoveredError from a region reset
         return event.value
 
     def _local_transfer(self, sg: LocalSg, timeout_ns: Optional[float] = None) -> Generator:

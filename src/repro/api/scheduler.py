@@ -18,8 +18,9 @@ from typing import Any, Callable, Dict, Generator, List, Optional
 from ..core.bitstream import Bitstream
 from ..core.vfpga import UserApp
 from ..driver.driver import Driver
-from ..sim.engine import Environment, Event
-from ..sim.resources import Store
+from ..health.errors import AdmissionError, QuarantinedError, RecoveredError
+from ..sim.engine import Environment, Event, Interrupt
+from ..sim.resources import Container, Store
 from ..telemetry.metrics import Histogram, MetricsRegistry
 
 __all__ = ["AppScheduler", "SchedulerError", "KernelRegistration"]
@@ -31,11 +32,17 @@ class SchedulerError(Exception):
 
 @dataclass(frozen=True)
 class KernelRegistration:
-    """A deployable kernel: its bitstream and a factory for the logic."""
+    """A deployable kernel: its bitstream and a factory for the logic.
+
+    ``idempotent`` declares that a request body may safely run twice; a
+    recovery that aborts an in-flight request replays it only then,
+    otherwise the submitter gets a :class:`RecoveredError`.
+    """
 
     name: str
     bitstream: Bitstream
     factory: Callable[[], UserApp]
+    idempotent: bool = False
 
 
 @dataclass
@@ -44,6 +51,9 @@ class _Request:
     body: Callable  # generator fn(cthread-ish context) -> result
     done: Event
     submitted_at: float
+    #: Whether this request currently holds an admission slot (replayed
+    #: requests re-enter the queue without re-acquiring one).
+    holds_slot: bool = True
 
 
 class AppScheduler:
@@ -61,15 +71,29 @@ class AppScheduler:
         vfpga_id: int = 0,
         affinity_window: int = 8,
         cached_bitstreams: bool = True,
+        max_queue_depth: Optional[int] = 64,
+        admission: str = "block",
     ):
+        if admission not in ("block", "reject"):
+            raise SchedulerError("admission must be 'block' or 'reject'")
         self.driver = driver
         self.env: Environment = driver.env
         self.vfpga_id = vfpga_id
         self.affinity_window = affinity_window
         self.cached_bitstreams = cached_bitstreams
+        self.admission = admission
+        self.max_queue_depth = max_queue_depth
         self._kernels: Dict[str, KernelRegistration] = {}
         self._queue: List[_Request] = []
         self._wakeup: Store = Store(self.env)
+        #: Admission slots: the submit queue is bounded; a full queue
+        #: back-pressures (``block``) or sheds (``reject``) new work so a
+        #: slow or wedged region cannot absorb unbounded client state.
+        self._slots: Optional[Container] = (
+            Container(self.env, capacity=max_queue_depth, init=max_queue_depth)
+            if max_queue_depth is not None
+            else None
+        )
         self.loaded: Optional[str] = None
         self.loaded_app: Optional[UserApp] = None
         self.reconfigurations = 0
@@ -80,20 +104,45 @@ class AppScheduler:
         #: Requests served on the already-resident kernel (no PR needed).
         self.affinity_hits = 0
         self.queue_depth_high_water = 0
+        #: Admission-control telemetry.
+        self.rejected_submits = 0
+        self.queue_full_stalls = 0
+        #: Recovery telemetry: in-flight requests replayed vs. rejected.
+        self.replayed = 0
+        self.replay_rejected = 0
+        #: Region circuit breaker tripped: every submit fails fast.
+        self.quarantined = False
         #: Time from submit() to being picked, in ns (telemetry).
         self.queue_wait = Histogram.exponential("scheduler.queue_wait_ns")
         #: Consecutive times the current queue head has been bypassed by a
         #: resident-kernel request; capped at ``affinity_window``.
         self._head_bypasses = 0
+        #: Recovery handshake state (see quiesce / resume_after_recovery).
+        self._running: Optional[_Request] = None
+        self._running_proc = None
+        self._aborted: Optional[_Request] = None
+        self._paused = False
+        self._gate: Optional[Event] = None
         driver.attach_scheduler(self)
         self.env.process(self._scheduler_loop(), name=f"sched-v{vfpga_id}")
 
     # --------------------------------------------------------------- admin
 
-    def register(self, name: str, bitstream: Bitstream, factory: Callable[[], UserApp]) -> None:
+    def register(
+        self,
+        name: str,
+        bitstream: Bitstream,
+        factory: Callable[[], UserApp],
+        idempotent: bool = False,
+    ) -> None:
         if name in self._kernels:
             raise SchedulerError(f"kernel {name!r} already registered")
-        self._kernels[name] = KernelRegistration(name, bitstream, factory)
+        self._kernels[name] = KernelRegistration(name, bitstream, factory, idempotent)
+
+    @property
+    def has_work(self) -> bool:
+        """Queued, running, or recovery-parked work (watchdog busy signal)."""
+        return bool(self._queue) or self._running is not None or self._aborted is not None
 
     # --------------------------------------------------------------- client
 
@@ -105,12 +154,26 @@ class AppScheduler:
         """
         if kernel not in self._kernels:
             raise SchedulerError(f"unknown kernel {kernel!r}")
+        if self.quarantined:
+            raise QuarantinedError(self.vfpga_id)
+        if self._slots is not None:
+            if self._slots.level < 1:
+                if self.admission == "reject":
+                    self.rejected_submits += 1
+                    raise AdmissionError(self.vfpga_id, self.max_queue_depth)
+                self.queue_full_stalls += 1
+            yield self._slots.get(1)
+            if self.quarantined:  # quarantined while blocked on admission
+                self._slots.put(1)
+                raise QuarantinedError(self.vfpga_id)
         request = _Request(
             kernel=kernel, body=body, done=Event(self.env), submitted_at=self.env.now
         )
         self._queue.append(request)
         if len(self._queue) > self.queue_depth_high_water:
             self.queue_depth_high_water = len(self._queue)
+        if self.driver.health is not None:
+            self.driver.health.notify_activity()
         yield self._wakeup.put(object())
         result = yield request.done
         return result
@@ -139,43 +202,133 @@ class AppScheduler:
         self._head_bypasses = 0
         return self._queue.pop(0)
 
+    def _pause_gate(self) -> Generator:
+        while self._paused:
+            self._gate = Event(self.env)
+            yield self._gate
+
     def _scheduler_loop(self) -> Generator:
         while True:
             yield self._wakeup.get()
+            yield from self._pause_gate()
             if not self._queue:
                 continue
             request = self._pick()
+            if self._slots is not None and request.holds_slot:
+                self._slots.put(1)
+                request.holds_slot = False
+            self._running = request
             self.queue_wait.observe(self.env.now - request.submitted_at)
-            if request.kernel != self.loaded:
-                registration = self._kernels[request.kernel]
-                try:
-                    yield self.env.process(
-                        self.driver.reconfigure_app(
-                            registration.bitstream,
-                            self.vfpga_id,
-                            registration.factory(),
-                            cached=self.cached_bitstreams,
-                        )
-                    )
-                except Exception as exc:
-                    # A reconfiguration that exhausted the driver's retries
-                    # fails only this request; the loop keeps serving (the
-                    # region still holds the last-good kernel, if any).
-                    self.reconfig_failures += 1
-                    request.done.fail(exc)
-                    continue
-                self.loaded = request.kernel
-                self.loaded_app = self.driver.shell.vfpgas[self.vfpga_id].app
-                self.reconfigurations += 1
-            else:
-                self.affinity_hits += 1
             try:
-                result = yield self.env.process(request.body(self.loaded_app))
-            except Exception as exc:  # surface failures to the submitter
-                request.done.fail(exc)
+                if request.kernel != self.loaded:
+                    registration = self._kernels[request.kernel]
+                    try:
+                        yield self.env.process(
+                            self.driver.reconfigure_app(
+                                registration.bitstream,
+                                self.vfpga_id,
+                                registration.factory(),
+                                cached=self.cached_bitstreams,
+                            )
+                        )
+                    except Exception as exc:
+                        # A reconfiguration that exhausted the driver's
+                        # retries fails only this request; the loop keeps
+                        # serving (the region still holds the last-good
+                        # kernel, if any).
+                        self.reconfig_failures += 1
+                        request.done.fail(exc)
+                        continue
+                    self.loaded = request.kernel
+                    self.loaded_app = self.driver.shell.vfpgas[self.vfpga_id].app
+                    self.reconfigurations += 1
+                else:
+                    self.affinity_hits += 1
+                # A recovery may have started while this request was
+                # reconfiguring; wait for the region to be re-coupled.
+                yield from self._pause_gate()
+                try:
+                    self._running_proc = self.env.process(
+                        request.body(self.loaded_app)
+                    )
+                    result = yield self._running_proc
+                except Interrupt as intr:
+                    if self._paused and isinstance(intr.cause, RecoveredError):
+                        # Recovery aborted the body; park the request for
+                        # the replay/reject decision at resume time.
+                        self._aborted = request
+                    else:
+                        request.done.fail(intr)
+                except RecoveredError as exc:
+                    # The body saw its own completion fail before the
+                    # quiesce interrupt landed; same disposition.
+                    if self._paused:
+                        self._aborted = request
+                    else:
+                        request.done.fail(exc)
+                except Exception as exc:  # surface failures to the submitter
+                    request.done.fail(exc)
+                else:
+                    self.requests_served += 1
+                    request.done.succeed(result)
+            finally:
+                self._running = None
+                self._running_proc = None
+
+    # ------------------------------------------------------------- recovery
+
+    def quiesce(self, exc: Exception) -> None:
+        """Pause the loop and abort the in-flight request (recovery step 1).
+
+        Called synchronously by :class:`repro.health.RecoveryManager`
+        while the region is being decoupled.  A request mid-PR is left to
+        finish its reconfiguration (the ICAP is a shared shell resource;
+        the pause gate holds its body until the region is re-coupled).
+        """
+        self._paused = True
+        proc = self._running_proc
+        if proc is not None and proc.is_alive:
+            proc.interrupt(exc)
+
+    def resume_after_recovery(self, quarantined: bool) -> None:
+        """Re-open the loop after recovery (steps 4/5).
+
+        ``quarantined``: fail everything — the parked request and all
+        queued work — with :class:`QuarantinedError` and shed future
+        submits.  Otherwise replay the parked request iff its kernel was
+        registered idempotent, else reject it with
+        :class:`RecoveredError`; queued (not-yet-started) work survives.
+        """
+        aborted, self._aborted = self._aborted, None
+        if quarantined:
+            self.quarantined = True
+            failed = list(self._queue)
+            self._queue.clear()
+            if aborted is not None:
+                failed.append(aborted)
+            for request in failed:
+                if self._slots is not None and request.holds_slot:
+                    self._slots.put(1)
+                    request.holds_slot = False
+                if not request.done.triggered:
+                    request.done.fail(QuarantinedError(self.vfpga_id))
+        elif aborted is not None:
+            if self._kernels[aborted.kernel].idempotent:
+                self._queue.insert(0, aborted)
+                self._wakeup.put(object())
+                self.replayed += 1
             else:
-                self.requests_served += 1
-                request.done.succeed(result)
+                self.replay_rejected += 1
+                if not aborted.done.triggered:
+                    aborted.done.fail(
+                        RecoveredError(self.vfpga_id, "in-flight request aborted")
+                    )
+        self._paused = False
+        gate, self._gate = self._gate, None
+        if gate is not None and not gate.triggered:
+            gate.succeed()
+        if self.driver.health is not None:
+            self.driver.health.notify_activity()
 
     # ------------------------------------------------------------ telemetry
 
@@ -189,6 +342,10 @@ class AppScheduler:
         registry.counter("scheduler.requests_served").inc(self.requests_served)
         registry.counter("scheduler.reconfig_failures").inc(self.reconfig_failures)
         registry.counter("scheduler.affinity_hits").inc(self.affinity_hits)
+        registry.counter("scheduler.rejected_submits").inc(self.rejected_submits)
+        registry.counter("scheduler.queue_full_stalls").inc(self.queue_full_stalls)
+        registry.counter("scheduler.replayed").inc(self.replayed)
+        registry.counter("scheduler.replay_rejected").inc(self.replay_rejected)
         depth = registry.gauge("scheduler.queue_depth")
         depth.add(len(self._queue))
         depth.high_water = max(depth.high_water, self.queue_depth_high_water)

@@ -193,19 +193,28 @@ def _check_padded(data: bytes) -> None:
         raise ValueError("data must be a multiple of the 16-byte block size")
 
 
-def aes_ecb_encrypt(data: bytes, key: bytes) -> bytes:
+def aes_ecb_encrypt(
+    data: bytes, key: bytes, round_keys: Optional[List[bytes]] = None
+) -> bytes:
+    """ECB-encrypt ``data``; pass a pre-expanded ``round_keys`` schedule
+    to skip the per-call key expansion (the hardware expands once per
+    setCSR, not once per message)."""
     _check_padded(data)
-    round_keys = aes_expand_key(key)
+    if round_keys is None:
+        round_keys = aes_expand_key(key)
     return b"".join(
         aes_encrypt_block(data[i : i + 16], round_keys) for i in range(0, len(data), 16)
     )
 
 
-def aes_cbc_encrypt(data: bytes, key: bytes, iv: bytes) -> bytes:
+def aes_cbc_encrypt(
+    data: bytes, key: bytes, iv: bytes, round_keys: Optional[List[bytes]] = None
+) -> bytes:
     _check_padded(data)
     if len(iv) != 16:
         raise ValueError("IV must be 16 bytes")
-    round_keys = aes_expand_key(key)
+    if round_keys is None:
+        round_keys = aes_expand_key(key)
     out = []
     chain = iv
     for i in range(0, len(data), 16):
@@ -215,9 +224,12 @@ def aes_cbc_encrypt(data: bytes, key: bytes, iv: bytes) -> bytes:
     return b"".join(out)
 
 
-def aes_cbc_decrypt(data: bytes, key: bytes, iv: bytes) -> bytes:
+def aes_cbc_decrypt(
+    data: bytes, key: bytes, iv: bytes, round_keys: Optional[List[bytes]] = None
+) -> bytes:
     _check_padded(data)
-    round_keys = aes_expand_key(key)
+    if round_keys is None:
+        round_keys = aes_expand_key(key)
     out = []
     chain = iv
     for i in range(0, len(data), 16):
@@ -306,7 +318,9 @@ class AesEcbApp(_AesAppBase):
             data = flit.data
             if data is not None:
                 pad = (-len(data)) % 16
-                ciphertext = aes_ecb_encrypt(data + bytes(pad), self._key)
+                ciphertext = aes_ecb_encrypt(
+                    data + bytes(pad), self._key, round_keys=self._keys()
+                )
                 data = ciphertext[: len(data) + pad]
             out = Flit(
                 length=len(data) if data is not None else flit.length,
@@ -369,7 +383,9 @@ class AesCbcApp(_AesAppBase):
             data = flit.data
             if data is not None:
                 pad = (-len(data)) % 16
-                ciphertext = aes_cbc_encrypt(data + bytes(pad), self._key, chain)
+                ciphertext = aes_cbc_encrypt(
+                    data + bytes(pad), self._key, chain, round_keys=self._keys()
+                )
                 chain = ciphertext[-16:]
                 data = ciphertext[: len(data) + pad]
             out = Flit(

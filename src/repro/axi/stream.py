@@ -114,6 +114,10 @@ class AxiStream:
     def try_recv(self) -> Optional[Flit]:
         return self._fifo.try_get()
 
+    def reset(self) -> int:
+        """Wipe the FIFO (region hot-reset); returns flits discarded."""
+        return self._fifo.clear()
+
     @property
     def occupancy(self) -> int:
         return len(self._fifo)

@@ -56,7 +56,26 @@ class Crediter:
 
     def release(self) -> None:
         """Replenish one credit (request marked complete / data consumed)."""
+        if self._pool.level >= self.capacity:
+            # Already full: this credit was reclaimed by reset() while
+            # its request drained.  Dropping the release (instead of
+            # queueing a put the pool can never admit) keeps the pool
+            # exactly at capacity after a region hot-reset.
+            return
         self._pool.put(1)
+
+    def reset(self) -> int:
+        """Refill the pool to capacity (region hot-reset).
+
+        In-flight credits belong to packets that were wiped with the
+        region's datapath, so they are reclaimed rather than leaked.
+        Returns how many credits were outstanding.  Blocked acquirers
+        are expected to have been interrupted by the same reset; any
+        left queued are settled on the next pool operation.
+        """
+        reclaimed = self.in_flight
+        self._pool.level = float(self.capacity)
+        return reclaimed
 
     @property
     def available(self) -> int:

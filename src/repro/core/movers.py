@@ -18,7 +18,7 @@ completes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Generator, Optional, Tuple
+from typing import Dict, Generator, List, Optional, Tuple
 
 from ..axi.types import Flit
 from ..mem.hbm import HbmController
@@ -36,9 +36,44 @@ __all__ = ["HostDataMover", "CardDataMover", "MoverConfig"]
 
 @dataclass(frozen=True)
 class MoverConfig:
-    packet_bytes: int = 4096
+    #: Packetizer chunk size.  2 KiB won the packet-size ablation
+    #: (``repro.experiments.ablations.run_ablation_packet_size``): best
+    #: single-tenant throughput (~11.9 GB/s vs ~11.86 at 4 KiB) and
+    #: within noise of larger chunks for two concurrent tenants, with
+    #: finer round-robin interleaving granularity (fairness).
+    packet_bytes: int = 2048
     writeback: bool = True  # completion writeback vs host polling
     carry_data: bool = True  # move real payload bytes (False: timing only)
+
+
+class _RegionResetMixin:
+    """Per-region quiesce/restart used by the health recovery pipeline.
+
+    Subclasses record each region's worker processes in
+    ``self._region_procs[vfpga_id]`` and its descriptor queues in
+    ``self._region_queues[vfpga_id]`` (re-created by ``_spawn_region``).
+    """
+
+    def quiesce_region(self, vfpga_id: int) -> None:
+        """Stop the region's request units so no new packets enter the
+        shared pipeline; packets already admitted drain normally."""
+        for proc in self._region_procs.get(vfpga_id, ()):
+            if proc.is_alive:
+                # Nothing awaits mover workers; defuse so the interrupt
+                # is a clean stop, not an unhandled simulation failure.
+                proc._defused = True
+                proc.interrupt("region reset")
+
+    def restart_region(self, vfpga_id: int) -> int:
+        """Respawn the region's units with empty queues (post hot-reset).
+
+        Returns the number of queued descriptors discarded with the old
+        queues.
+        """
+        vfpga, _mmu = self._vfpgas[vfpga_id]
+        dropped = sum(len(q) for q in self._region_queues.get(vfpga_id, ()))
+        self._spawn_region(vfpga)
+        return dropped
 
 
 class _FlitAssembler:
@@ -103,7 +138,7 @@ class _CompletionMixin:
             yield from self.xdma.writeback(f"v{desc.vfpga_id}-{desc.stream.value}-{direction}")
 
 
-class HostDataMover(_CompletionMixin):
+class HostDataMover(_CompletionMixin, _RegionResetMixin):
     """Fair, credited host-memory datapath over the XDMA streaming channel."""
 
     def __init__(
@@ -122,6 +157,9 @@ class HostDataMover(_CompletionMixin):
         #: (set by Driver.attach_gpu).
         self.gpu = None
         self._vfpgas: Dict[int, Tuple[VFpga, Mmu]] = {}
+        self._region_ports: Dict[int, Tuple] = {}
+        self._region_procs: Dict[int, List] = {}
+        self._region_queues: Dict[int, List[Store]] = {}
         # Translate/DMA pipeline stages.
         self._rd_staged: Store = Store(env, capacity=4)
         self._wr_staged: Store = Store(env, capacity=4)
@@ -136,8 +174,20 @@ class HostDataMover(_CompletionMixin):
         if vfpga.vfpga_id in self._vfpgas:
             raise ValueError(f"vFPGA {vfpga.vfpga_id} already registered")
         self._vfpgas[vfpga.vfpga_id] = (vfpga, mmu)
-        rd_port = self.rd_arbiter.add_port()
-        wr_port = self.wr_arbiter.add_port()
+        self._region_ports[vfpga.vfpga_id] = (
+            self.rd_arbiter.add_port(),
+            self.wr_arbiter.add_port(),
+        )
+        self._spawn_region(vfpga)
+
+    def _spawn_region(self, vfpga: VFpga) -> None:
+        """(Re)create the region's dispatch/request units and queues.
+
+        Called at registration and again by :meth:`restart_region` after
+        a hot-reset; the arbiter ports persist (the fabric is shared),
+        everything tenant-side is rebuilt empty.
+        """
+        rd_port, wr_port = self._region_ports[vfpga.vfpga_id]
         # Per-stream request engines: one worker per parallel host stream
         # in each direction, so one thread's slow message never blocks
         # another thread's (this is what makes cThreads independent).
@@ -145,24 +195,31 @@ class HostDataMover(_CompletionMixin):
         vfpga._host_wr_dispatch = Store(self.env)
         rd_queues = [Store(self.env) for _ in vfpga.host_in]
         wr_queues = [Store(self.env) for _ in vfpga.host_out]
-        self.env.process(
-            self._by_dest(vfpga._host_rd_dispatch, rd_queues),
-            name=f"v{vfpga.vfpga_id}-host-rd-disp",
-        )
-        self.env.process(
-            self._by_dest(vfpga._host_wr_dispatch, wr_queues),
-            name=f"v{vfpga.vfpga_id}-host-wr-disp",
-        )
-        for dest, queue in enumerate(rd_queues):
+        procs = [
             self.env.process(
+                self._by_dest(vfpga._host_rd_dispatch, rd_queues),
+                name=f"v{vfpga.vfpga_id}-host-rd-disp",
+            ),
+            self.env.process(
+                self._by_dest(vfpga._host_wr_dispatch, wr_queues),
+                name=f"v{vfpga.vfpga_id}-host-wr-disp",
+            ),
+        ]
+        for dest, queue in enumerate(rd_queues):
+            procs.append(self.env.process(
                 self._rd_request_unit(vfpga, queue, rd_port),
                 name=f"v{vfpga.vfpga_id}-host-rd-req{dest}",
-            )
+            ))
         for dest, queue in enumerate(wr_queues):
-            self.env.process(
+            procs.append(self.env.process(
                 self._wr_request_unit(vfpga, dest, queue, wr_port),
                 name=f"v{vfpga.vfpga_id}-host-wr-req{dest}",
-            )
+            ))
+        self._region_procs[vfpga.vfpga_id] = procs
+        self._region_queues[vfpga.vfpga_id] = [
+            vfpga._host_rd_dispatch, vfpga._host_wr_dispatch,
+            *rd_queues, *wr_queues,
+        ]
 
     # ---------------------------------------------------- per-vFPGA units
 
@@ -286,7 +343,7 @@ class HostDataMover(_CompletionMixin):
                 yield from self._complete(vfpga, packet, write=True)
 
 
-class CardDataMover(_CompletionMixin):
+class CardDataMover(_CompletionMixin, _RegionResetMixin):
     """Dedicated (uninterleaved) per-stream HBM datapaths (paper §6.3)."""
 
     def __init__(
@@ -302,6 +359,8 @@ class CardDataMover(_CompletionMixin):
         self.config = config
         self.packetizer = Packetizer(config.packet_bytes)
         self._vfpgas: Dict[int, Tuple[VFpga, Mmu]] = {}
+        self._region_procs: Dict[int, List] = {}
+        self._region_queues: Dict[int, List[Store]] = {}
         self.bytes_read = 0
         self.bytes_written = 0
 
@@ -309,30 +368,41 @@ class CardDataMover(_CompletionMixin):
         if vfpga.vfpga_id in self._vfpgas:
             raise ValueError(f"vFPGA {vfpga.vfpga_id} already registered")
         self._vfpgas[vfpga.vfpga_id] = (vfpga, mmu)
+        self._spawn_region(vfpga)
+
+    def _spawn_region(self, vfpga: VFpga) -> None:
+        _vfpga, mmu = self._vfpgas[vfpga.vfpga_id]
         # One read and one write worker per parallel card stream: this is
         # the parallelism that scales throughput with HBM channels.
         rd_queues = [Store(self.env) for _ in vfpga.card_in]
         wr_queues = [Store(self.env) for _ in vfpga.card_out]
         vfpga._card_rd_dispatch = Store(self.env)
         vfpga._card_wr_dispatch = Store(self.env)
-        self.env.process(
-            self._dispatch(vfpga._card_rd_dispatch, rd_queues),
-            name=f"v{vfpga.vfpga_id}-card-rd-disp",
-        )
-        self.env.process(
-            self._dispatch(vfpga._card_wr_dispatch, wr_queues),
-            name=f"v{vfpga.vfpga_id}-card-wr-disp",
-        )
-        for dest, queue in enumerate(rd_queues):
+        procs = [
             self.env.process(
+                self._dispatch(vfpga._card_rd_dispatch, rd_queues),
+                name=f"v{vfpga.vfpga_id}-card-rd-disp",
+            ),
+            self.env.process(
+                self._dispatch(vfpga._card_wr_dispatch, wr_queues),
+                name=f"v{vfpga.vfpga_id}-card-wr-disp",
+            ),
+        ]
+        for dest, queue in enumerate(rd_queues):
+            procs.append(self.env.process(
                 self._rd_worker(vfpga, mmu, queue),
                 name=f"v{vfpga.vfpga_id}-card-rd{dest}",
-            )
+            ))
         for dest, queue in enumerate(wr_queues):
-            self.env.process(
+            procs.append(self.env.process(
                 self._wr_worker(vfpga, mmu, queue),
                 name=f"v{vfpga.vfpga_id}-card-wr{dest}",
-            )
+            ))
+        self._region_procs[vfpga.vfpga_id] = procs
+        self._region_queues[vfpga.vfpga_id] = [
+            vfpga._card_rd_dispatch, vfpga._card_wr_dispatch,
+            *rd_queues, *wr_queues,
+        ]
 
     def _dispatch(self, source: Store, queues) -> Generator:
         while True:

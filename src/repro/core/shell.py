@@ -95,6 +95,8 @@ class Shell:
         self.static.icap.faults = injector
         if self.dynamic.hbm is not None:
             self.dynamic.hbm.faults = injector
+        for vfpga in self.vfpgas:
+            vfpga.faults = injector  # the app.* misbehaving-tenant sites
 
     def _make_vfpga(self, index: int) -> VFpga:
         vfpga = VFpga(self.env, index, self.config.vfpga)
@@ -228,11 +230,16 @@ class Shell:
         """Re-program the last-good bitstream after a CRC failure."""
         last = self._last_good_app.get(vfpga_id)
         if last is None:
-            # Nothing to roll back to: leave the region empty (the app was
-            # loaded at initial configuration, which charges no bitstream).
+            # Nothing to roll back to: leave the region empty.
             self.vfpgas[vfpga_id].unload_app()
             return
         bitstream, app = last
+        if bitstream is None:
+            # Last-good was loaded at initial configuration: restoring it
+            # is a plain reload, no bitstream to re-program.
+            self.vfpgas[vfpga_id].load_app(app)
+            self.icap_rollbacks += 1
+            return
         for _attempt in range(self._MAX_ROLLBACK_ATTEMPTS):
             try:
                 yield self.env.process(self.static.icap.program(bitstream))
@@ -311,6 +318,9 @@ class Shell:
             )
         vfpga = self.vfpgas[vfpga_id]
         vfpga.load_app(app)
+        # Recovery/rollback target: a None bitstream marks an app loaded
+        # at initial configuration (restoring it charges no PR).
+        self._last_good_app[vfpga_id] = (None, app)
         return vfpga
 
     # ----------------------------------------------------------- host entry

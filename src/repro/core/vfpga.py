@@ -14,7 +14,7 @@ from typing import Callable, Dict, Generator, List, Optional
 from ..axi.lite import RegisterFile
 from ..axi.stream import AxiStream
 from ..axi.types import Flit
-from ..sim.engine import Environment, Process
+from ..sim.engine import Environment, Event, Process
 from ..sim.resources import Store
 from .credit import CreditConfig, Crediter
 from .interfaces import CompletionEntry, Descriptor, StreamType
@@ -100,6 +100,16 @@ class VFpga:
         self._children: List[Process] = []
         self.interrupts_sent = 0
         self.reconfigurations = 0
+        #: Armed :class:`repro.faults.FaultInjector` (``None`` = fault-free;
+        #: the ``app.*`` misbehaving-tenant sites hook ``recv``).
+        self.faults = None
+        #: Decoupled from the shell interconnect (recovery in progress):
+        #: the driver rejects new software work for this region.
+        self.decoupled = False
+        #: Circuit breaker open: tenant evicted, region dark.
+        self.quarantined = False
+        self.hangs_injected = 0
+        self.credits_wedged = 0
 
     def _streams(self, tag: str, count: int, depth: int) -> List[AxiStream]:
         return [
@@ -148,6 +158,27 @@ class VFpga:
             self._app_proc.interrupt("unloaded")
         self.app = None
         self._app_proc = None
+
+    def reset_datapath(self) -> int:
+        """Hot-reset the region's datapath state (health recovery).
+
+        Wipes every stream FIFO, drains the send/completion queues, and
+        refills all credit pools to capacity — the simulation equivalent
+        of asserting the PR region's reset while it is decoupled.  Call
+        after :meth:`unload_app` (the app processes must be gone first).
+        Returns the number of queued items discarded.
+        """
+        dropped = 0
+        for group in (self.host_in, self.host_out, self.card_in,
+                      self.card_out, self.net_in, self.net_out):
+            for stream in group:
+                dropped += stream.reset()
+        for queue in (self.sq_rd, self.sq_wr, self.cq_rd, self.cq_wr):
+            dropped += queue.clear()
+        for crediters in (self.rd_credits, self.wr_credits):
+            for crediter in crediters.values():
+                crediter.reset()
+        return dropped
 
     # ------------------------------------------- hardware-facing interface
 
@@ -210,9 +241,26 @@ class VFpga:
         }[stream]
 
     def recv(self, stream: StreamType = StreamType.HOST, dest: int = 0) -> Generator:
-        """Consume one inbound flit; releases the read credit it held."""
+        """Consume one inbound flit; releases the read credit it held.
+
+        The two misbehaving-tenant fault sites live here, on the user
+        side of the interface: ``app.wedge_credit`` leaks the credit this
+        flit held (eventually exhausting the pool and wedging the
+        region's datapath), ``app.hang`` parks the consuming lane forever
+        (until recovery wipes the region).  Both are invisible unless a
+        :class:`repro.faults.FaultInjector` is armed.
+        """
         flit = yield from self._in_streams(stream)[dest].recv()
-        self.rd_credits[stream].release()
+        faults = self.faults
+        if faults is not None and faults.fires("app.wedge_credit", self):
+            self.credits_wedged += 1  # leaked: never released
+        else:
+            self.rd_credits[stream].release()
+        if faults is not None and faults.fires("app.hang", self):
+            self.hangs_injected += 1
+            # Wedge this lane on an event nothing ever triggers; only an
+            # unload interrupt (region wipe) gets it out.
+            yield Event(self.env)
         return flit
 
     def send(self, flit: Flit, stream: StreamType = StreamType.HOST, dest: int = 0) -> Generator:

@@ -23,6 +23,7 @@ from ..core.reconfig import IcapController, IcapCrcError, ReconfigError
 from ..core.shell import Shell
 from ..core.vfpga import UserApp
 from ..faults.retry import RetryPolicy
+from ..health.errors import DecoupledError, QuarantinedError
 from ..mem.allocator import Allocation, AllocType, FrameAllocator, VirtualAllocator
 from ..mem.mmu import MemLocation, PageTable, PageTableEntry, SegmentationFault
 from ..mem.tlb import PAGE_1G, PAGE_2M, PAGE_4K
@@ -66,6 +67,9 @@ class ProcessContext:
     #: Completion events registered by wr_id, so concurrent invokes from
     #: the same thread never steal each other's completions.
     pending: Dict[Tuple[bool, int], object] = field(default_factory=dict)
+    #: Registration timestamps of ``pending`` keys; the per-cThread
+    #: watchdog ages these to spot one stuck lane on a busy region.
+    pending_since: Dict[Tuple[bool, int], float] = field(default_factory=dict)
 
     def expect(self, env: Environment, write: bool, wr_id: int):
         """Register interest in a completion before posting descriptors."""
@@ -73,7 +77,13 @@ class ProcessContext:
 
         event = Event(env)
         self.pending[(write, wr_id)] = event
+        self.pending_since[(write, wr_id)] = env.now
         return event
+
+    def forget(self, write: bool, wr_id: int):
+        """Deregister a pending completion (timeout/abort paths)."""
+        self.pending_since.pop((write, wr_id), None)
+        return self.pending.pop((write, wr_id), None)
 
 
 class Driver:
@@ -118,11 +128,24 @@ class Driver:
         #: AppSchedulers driving this card's regions; they register
         #: themselves so card_report() can harvest their telemetry.
         self.schedulers: List = []
+        #: Per-region completions demuxed to software — a forward-progress
+        #: signal the health watchdogs sample.
+        self.completions_delivered: Dict[int, int] = {}
+        #: Attached :class:`repro.health.HealthMonitor` (or ``None``).
+        self.health = None
+        #: Lazily created :class:`repro.health.RecoveryManager`.
+        self.recovery = None
+        #: Regions with a PR in flight (watchdogs must not judge them).
+        self._reconfiguring: Dict[int, int] = {}
 
     def attach_scheduler(self, scheduler) -> None:
         """Register an :class:`repro.api.AppScheduler` for telemetry."""
         if scheduler not in self.schedulers:
             self.schedulers.append(scheduler)
+
+    def attach_health(self, monitor) -> None:
+        """Register the card's :class:`repro.health.HealthMonitor`."""
+        self.health = monitor
 
     def attach_gpu(self, gpu) -> None:
         """Register a GPU as a shared-virtual-memory target (§6.1)."""
@@ -167,10 +190,13 @@ class Driver:
     def _cq_demux(self, queue: Store, write: bool) -> Generator:
         while True:
             entry: CompletionEntry = yield queue.get()
+            self.completions_delivered[entry.vfpga_id] = (
+                self.completions_delivered.get(entry.vfpga_id, 0) + 1
+            )
             ctx = self.processes.get(entry.pid)
             if ctx is None:
                 continue  # completion for an exited process
-            waiter = ctx.pending.pop((write, entry.wr_id), None)
+            waiter = ctx.forget(write, entry.wr_id)
             if waiter is not None:
                 waiter.succeed(entry)
                 continue
@@ -508,26 +534,35 @@ class Driver:
         into kernel memory each time; only a failure persisting past
         ``retry_policy.max_retries`` surfaces to the caller.
         """
-        if cached:
-            mb = bitstream.size_bytes / 1e6
-            yield self.env.timeout(mb / 300.0 * 1e9)  # copy_to_kernel only
-        else:
-            yield self.env.timeout(IcapController.host_overhead_ns(bitstream))
-        attempt = 0
-        while True:
-            try:
-                yield self.env.process(
-                    self._reconfigure_app_once(bitstream, vfpga_id, app)
-                )
-                return
-            except IcapCrcError:
-                if attempt >= self.retry_policy.max_retries:
-                    raise
-                attempt += 1
-                self.reconfig_retries += 1
-                yield from self.retry_policy.sleep(self.env, attempt)
+        self._reconfiguring[vfpga_id] = self._reconfiguring.get(vfpga_id, 0) + 1
+        try:
+            if cached:
                 mb = bitstream.size_bytes / 1e6
-                yield self.env.timeout(mb / 300.0 * 1e9)  # re-stage in kernel
+                yield self.env.timeout(mb / 300.0 * 1e9)  # copy_to_kernel only
+            else:
+                yield self.env.timeout(IcapController.host_overhead_ns(bitstream))
+            attempt = 0
+            while True:
+                try:
+                    yield self.env.process(
+                        self._reconfigure_app_once(bitstream, vfpga_id, app)
+                    )
+                    return
+                except IcapCrcError:
+                    if attempt >= self.retry_policy.max_retries:
+                        raise
+                    attempt += 1
+                    self.reconfig_retries += 1
+                    yield from self.retry_policy.sleep(self.env, attempt)
+                    mb = bitstream.size_bytes / 1e6
+                    yield self.env.timeout(mb / 300.0 * 1e9)  # re-stage in kernel
+        finally:
+            self._reconfiguring[vfpga_id] -= 1
+
+    def reconfiguring(self, vfpga_id: int) -> bool:
+        """Is a partial reconfiguration of this region in flight?  (PR
+        stalls the region legitimately; watchdogs skip it.)"""
+        return self._reconfiguring.get(vfpga_id, 0) > 0
 
     def _reconfigure_app_once(
         self, bitstream: Bitstream, vfpga_id: int, app: UserApp
@@ -577,4 +612,44 @@ class Driver:
                 f"pid {desc.pid} is bound to vFPGA {ctx.vfpga_id}, "
                 f"not {desc.vfpga_id}"
             )
+        vfpga = self.shell.vfpgas[desc.vfpga_id]
+        if vfpga.quarantined:
+            raise QuarantinedError(desc.vfpga_id)
+        if vfpga.decoupled:
+            raise DecoupledError(desc.vfpga_id)
+        if self.health is not None:
+            self.health.notify_activity()
         self.shell.post_descriptor(desc, write)
+
+    # ------------------------------------------------------ health / recovery
+
+    def fail_pending(self, vfpga_id: int, exc: Exception) -> int:
+        """Fail every pending completion event bound to a region.
+
+        Part of the decouple step of recovery: software waiting on work
+        the reset wiped gets a typed error instead of hanging forever.
+        Events are pre-defused because a polling-mode cThread may have no
+        waiter attached yet.
+        """
+        failed = 0
+        for ctx in self.processes.values():
+            if ctx.vfpga_id != vfpga_id:
+                continue
+            for event in ctx.pending.values():
+                if not event.triggered:
+                    event._defused = True
+                    event.fail(exc)
+                    failed += 1
+            ctx.pending.clear()
+            ctx.pending_since.clear()
+        return failed
+
+    def recover(self, vfpga_id: int, reason: str = "manual") -> Generator:
+        """Quiesce, hot-reset, and reprogram one region (the recovery
+        pipeline of :mod:`repro.health.recovery`); usable directly or via
+        an attached :class:`repro.health.HealthMonitor`."""
+        if self.recovery is None:
+            from ..health.recovery import RecoveryManager
+
+            self.recovery = RecoveryManager(self)
+        yield self.env.process(self.recovery.recover(vfpga_id, reason=reason))

@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Any, Dict
 
 from ..core.interfaces import StreamType
+from ..health.monitor import health_section
 from ..telemetry.collect import collect_card_metrics
 from .driver import Driver
 
@@ -58,6 +59,8 @@ def card_report(driver: Driver) -> Dict[str, Any]:
             "writebacks": {name: wb.count for name, wb in xdma.writebacks.items()},
         },
         "faults": _fault_section(driver),
+        # Card health verdict + per-region recovery state (repro.health).
+        "health": health_section(driver),
         # The statistics-register view: every domain's live counters under
         # canonical dot-path names (see repro.telemetry).
         "telemetry": collect_card_metrics(driver).snapshot(),

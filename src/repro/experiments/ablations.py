@@ -73,7 +73,8 @@ def run_ablation_packet_size(
         result.add_row(packet_bytes=chunk, throughput_gbps=round(gbps, 2))
     result.notes.append(
         "small packets lose bandwidth to per-packet overheads; huge packets "
-        "coarsen fairness — 4 KB is the sweet spot the shell defaults to"
+        "coarsen fairness — 2 KB is the sweet spot the shell defaults to "
+        "(MoverConfig.packet_bytes)"
     )
     return result
 

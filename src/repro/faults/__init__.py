@@ -16,6 +16,8 @@ for the recovery matrix.
 
 from .injector import FaultInjector
 from .plan import (
+    APP_HANG,
+    APP_WEDGE_CREDIT,
     FAULT_SITES,
     HBM_ECC_DOUBLE,
     HBM_ECC_SINGLE,
@@ -46,4 +48,6 @@ __all__ = [
     "HBM_ECC_DOUBLE",
     "ICAP_CRC",
     "MSIX_LOSS",
+    "APP_HANG",
+    "APP_WEDGE_CREDIT",
 ]

@@ -24,7 +24,14 @@ site                models
 ``hbm.ecc_double``  detected-uncorrectable double-bit ECC events
 ``icap.crc``        CRC mismatch while streaming a partial bitstream
 ``driver.msix``     an MSI-X interrupt message lost in flight
+``app.hang``        user logic wedges: a lane stops making forward progress
+``app.wedge_credit``  user logic leaks a datapath credit per fire
 ==================  =====================================================
+
+The two ``app.*`` sites model *misbehaving tenants* rather than hardware
+faults: they fire inside the vFPGA's stream interface (each consumed
+flit is one event, the context is the :class:`~repro.core.vfpga.VFpga`),
+and exist to exercise the :mod:`repro.health` watchdog/recovery path.
 """
 
 from __future__ import annotations
@@ -45,6 +52,8 @@ __all__ = [
     "HBM_ECC_DOUBLE",
     "ICAP_CRC",
     "MSIX_LOSS",
+    "APP_HANG",
+    "APP_WEDGE_CREDIT",
 ]
 
 NET_DROP = "net.drop"
@@ -56,6 +65,8 @@ HBM_ECC_SINGLE = "hbm.ecc_single"
 HBM_ECC_DOUBLE = "hbm.ecc_double"
 ICAP_CRC = "icap.crc"
 MSIX_LOSS = "driver.msix"
+APP_HANG = "app.hang"
+APP_WEDGE_CREDIT = "app.wedge_credit"
 
 #: Every injection point the hardware models expose.
 FAULT_SITES = frozenset(
@@ -69,6 +80,8 @@ FAULT_SITES = frozenset(
         HBM_ECC_DOUBLE,
         ICAP_CRC,
         MSIX_LOSS,
+        APP_HANG,
+        APP_WEDGE_CREDIT,
     }
 )
 

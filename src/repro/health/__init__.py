@@ -1,0 +1,43 @@
+"""Card health & recovery: watchdogs, hot-reset, admission, quarantine.
+
+Usage::
+
+    from repro.health import HealthMonitor, HealthConfig
+
+    monitor = HealthMonitor(driver, HealthConfig(deadline_ns=100_000))
+    ...run the workload...
+    monitor.report()            # HealthReport: card + per-region states
+    card_report(driver)["health"]  # same thing, embedded in the report
+
+The state machine (watchdog -> quiesce -> reset -> replay/quarantine)
+is documented in DESIGN.md ("Card health & recovery").  Manual recovery
+without a monitor: ``env.process(driver.recover(vfpga_id))``.
+"""
+
+from .errors import (
+    AdmissionError,
+    DecoupledError,
+    HealthError,
+    QuarantinedError,
+    RecoveredError,
+)
+from .monitor import HealthMonitor, HealthReport, RegionHealth, health_section
+from .recovery import HealthConfig, RecoveryManager, RegionState
+from .watchdog import ProgressWatchdog, Verdict
+
+__all__ = [
+    "HealthMonitor",
+    "HealthConfig",
+    "HealthReport",
+    "RegionHealth",
+    "RecoveryManager",
+    "RegionState",
+    "ProgressWatchdog",
+    "Verdict",
+    "HealthError",
+    "RecoveredError",
+    "QuarantinedError",
+    "DecoupledError",
+    "AdmissionError",
+    "health_section",
+]

@@ -1,0 +1,64 @@
+"""Typed errors raised by the health & recovery subsystem.
+
+Every path through recovery resolves outstanding work with one of these
+(never a bare hang, never a silent drop), which is what lets chaos tests
+assert "all submitted requests reach a terminal state".
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "HealthError",
+    "RecoveredError",
+    "QuarantinedError",
+    "DecoupledError",
+    "AdmissionError",
+]
+
+
+class HealthError(Exception):
+    """Base class for all health/recovery errors."""
+
+
+class RecoveredError(HealthError):
+    """The vFPGA serving this request was hot-reset while it was in
+    flight; the request's side effects are undefined and it was not
+    replayed (either no scheduler owned it, or its kernel is not
+    registered as idempotent)."""
+
+    def __init__(self, vfpga_id: int, reason: str = "recovered"):
+        super().__init__(f"vFPGA {vfpga_id} was recovered ({reason})")
+        self.vfpga_id = vfpga_id
+        self.reason = reason
+
+
+class QuarantinedError(HealthError):
+    """The target vFPGA tripped its circuit breaker (K recoveries inside
+    the breaker window) and no longer accepts work; the rest of the card
+    keeps serving."""
+
+    def __init__(self, vfpga_id: int):
+        super().__init__(f"vFPGA {vfpga_id} is quarantined")
+        self.vfpga_id = vfpga_id
+
+
+class DecoupledError(HealthError):
+    """The target vFPGA is decoupled from the shell interconnect (a
+    recovery is in progress); new work is rejected until it re-couples."""
+
+    def __init__(self, vfpga_id: int):
+        super().__init__(f"vFPGA {vfpga_id} is decoupled for recovery")
+        self.vfpga_id = vfpga_id
+
+
+class AdmissionError(HealthError):
+    """A bounded submit queue rejected the request (admission control in
+    ``reject`` mode; in ``block`` mode the submitter is back-pressured
+    instead)."""
+
+    def __init__(self, vfpga_id: int, depth: int):
+        super().__init__(
+            f"vFPGA {vfpga_id} submit queue full ({depth} requests deep)"
+        )
+        self.vfpga_id = vfpga_id
+        self.depth = depth

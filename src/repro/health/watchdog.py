@@ -1,0 +1,76 @@
+"""Progress watchdogs: HUNG verdicts from telemetry counters.
+
+A region is *busy* when software has outstanding work against it and
+*progressing* when its forward-progress counters (credits acquired,
+completions delivered, interrupts raised, scheduler requests served)
+move between samples.  Busy without progress for longer than the
+deadline is a ``HUNG`` verdict — the same liveness definition a hardware
+watchdog timer implements with a petting register.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Callable, Optional
+
+__all__ = ["Verdict", "ProgressWatchdog"]
+
+
+class Verdict(Enum):
+    IDLE = "idle"  # no outstanding work; nothing to prove
+    OK = "ok"  # busy and progressing (or stalled within the deadline)
+    HUNG = "hung"  # busy with no progress past the deadline
+
+
+class ProgressWatchdog:
+    """Deadline watchdog over externally supplied progress/busy signals.
+
+    ``progress_fn`` returns a monotonically non-decreasing work counter;
+    ``busy_fn`` returns whether there is outstanding work that *should*
+    be advancing it.  :meth:`sample` is pure bookkeeping — the caller
+    (the health monitor's heartbeat) decides when to sample and what to
+    do with a ``HUNG`` verdict.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        progress_fn: Callable[[], int],
+        busy_fn: Callable[[], bool],
+        deadline_ns: float,
+    ):
+        if deadline_ns <= 0:
+            raise ValueError("watchdog deadline must be positive")
+        self.name = name
+        self.progress_fn = progress_fn
+        self.busy_fn = busy_fn
+        self.deadline_ns = deadline_ns
+        self.trips = 0
+        self._last_progress: Optional[int] = None
+        self._stall_since: Optional[float] = None
+
+    def sample(self, now: float) -> Verdict:
+        if not self.busy_fn():
+            self._stall_since = None
+            self._last_progress = None
+            return Verdict.IDLE
+        progress = self.progress_fn()
+        if progress != self._last_progress:
+            self._last_progress = progress
+            self._stall_since = now
+            return Verdict.OK
+        if self._stall_since is None:
+            self._stall_since = now
+            return Verdict.OK
+        if now - self._stall_since >= self.deadline_ns:
+            self.trips += 1
+            # Restart the stall clock so one hang yields one trip per
+            # deadline, not one per heartbeat sample.
+            self._stall_since = now
+            return Verdict.HUNG
+        return Verdict.OK
+
+    def reset(self) -> None:
+        """Forget stall history (called after the region is recovered)."""
+        self._last_progress = None
+        self._stall_since = None

@@ -212,3 +212,12 @@ class Mmu:
     def shootdown(self, vaddr: int) -> bool:
         """TLB invalidation (driver-triggered on unmap/migration)."""
         return self.tlb.invalidate(vaddr)
+
+    def flush(self) -> int:
+        """Invalidate every cached translation of this vFPGA's tenants.
+
+        Each vFPGA has its own MMU, so a full flush drops exactly the
+        recovering region's entries — other tenants' TLBs are untouched.
+        Returns the number of entries invalidated.
+        """
+        return self.tlb.invalidate_all()

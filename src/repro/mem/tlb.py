@@ -120,9 +120,12 @@ class Tlb:
         vpn = self.vpn_of(vaddr)
         return self._set_for(vpn).pop(vpn, None) is not None
 
-    def invalidate_all(self) -> None:
+    def invalidate_all(self) -> int:
+        """Full flush (tenant recovery / context wipe); returns entries dropped."""
+        dropped = self.occupancy
         for entries in self._sets:
             entries.clear()
+        return dropped
 
     @property
     def occupancy(self) -> int:

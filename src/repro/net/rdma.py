@@ -112,6 +112,7 @@ class RdmaStack:
         self._retransmit: Dict[int, Dict[int, RocePacket]] = {}  # qpn -> psn -> pkt
         self._pending: Dict[int, List[_PendingMessage]] = {}
         self._last_progress = env.now
+        self._timer_parked: Optional[Event] = None
         self._read_collect: Dict[int, dict] = {}  # qpn -> in-flight READ state
         self._atomic_pending: Dict[int, Dict[int, Event]] = {}  # qpn -> psn -> event
         self._recv_queues: Dict[int, Store] = {}
@@ -262,7 +263,7 @@ class RdmaStack:
                 payload=payload if isinstance(payload, (bytes, bytearray)) else None,
                 payload_length=seg_len,
             )
-            self._retransmit[qpn][psn] = packet
+            self._track(qpn, psn, packet)
             if last:
                 self._pending[qpn].append(
                     _PendingMessage(last_psn=psn, event=done, wr_id=wr_id, opcode="WRITE", length=length)
@@ -314,7 +315,7 @@ class RdmaStack:
             reth=RethHeader(vaddr=remote_vaddr, rkey=qp.remote.rkey, dma_length=length),
         )
         self._read_collect[qpn]["request"] = packet
-        self._retransmit[qpn][start_psn] = packet
+        self._track(qpn, start_psn, packet)
         yield from self._send_packet(packet)
         yield done
         self._complete_op(qpn, length)
@@ -363,7 +364,7 @@ class RdmaStack:
                 compare=compare & 0xFFFFFFFFFFFFFFFF,
             ),
         )
-        self._retransmit[qpn][psn] = packet
+        self._track(qpn, psn, packet)
         yield from self._send_packet(packet)
         original = yield done
         self._complete_op(qpn, 8)
@@ -397,7 +398,7 @@ class RdmaStack:
                 bth=BthHeader(opcode=opcode, dest_qp=qp.remote.qpn, psn=psn, ack_request=True),
                 payload=payload[offset : offset + seg_len],
             )
-            self._retransmit[qpn][psn] = packet
+            self._track(qpn, psn, packet)
             if last:
                 self._pending[qpn].append(
                     _PendingMessage(last_psn=psn, event=done, wr_id=wr_id, opcode="SEND", length=len(payload))
@@ -654,9 +655,22 @@ class RdmaStack:
             yield from self._send_packet(packet)
         self._last_progress = self.env.now
 
+    def _track(self, qpn: int, psn: int, packet: RocePacket) -> None:
+        """Buffer an unacked packet and wake the retransmit timer."""
+        self._retransmit[qpn][psn] = packet
+        if self._timer_parked is not None and not self._timer_parked.triggered:
+            self._timer_parked.succeed()
+
     def _retransmit_timer(self) -> Generator:
         timeout = self.config.retransmit_timeout_ns
         while True:
+            if not any(self._retransmit[q] for q in self._retransmit):
+                # Park: an idle requester must not keep the simulation
+                # alive forever; _track() kicks us on the next packet.
+                self._timer_parked = Event(self.env)
+                yield self._timer_parked
+                self._timer_parked = None
+                continue
             yield self.env.timeout(timeout)
             outstanding = any(self._retransmit[q] for q in self._retransmit)
             if not outstanding:

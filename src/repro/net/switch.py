@@ -109,14 +109,21 @@ class Switch:
             if faults.fires(NET_DUPLICATE, packet):
                 self.duplicated += 1
                 copies = 2
-        port = self._ports.get(packet.eth.dst)
-        if port is None:
+        if packet.eth.dst not in self._ports:
             self.unroutable += 1
             return
         self.forwarded += 1
         for copy in range(copies):
-            self.env.process(self._forward(port, packet, delay + copy * DUPLICATE_GAP_NS))
+            self.env.process(self._forward(packet, delay + copy * DUPLICATE_GAP_NS))
 
-    def _forward(self, port: Cmac, packet: RocePacket, delay_ns: float):
+    def _forward(self, packet: RocePacket, delay_ns: float):
         yield self.env.timeout(delay_ns)
+        # Re-resolve at delivery time: the port may have been detached
+        # (shell reconfiguration) while the frame was in flight — a frame
+        # must never be delivered to an unplugged CMAC.
+        port = self._ports.get(packet.eth.dst)
+        if port is None:
+            self.forwarded -= 1
+            self.unroutable += 1
+            return
         port.deliver(packet)

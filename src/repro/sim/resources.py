@@ -142,6 +142,25 @@ class Store:
             put_event.succeed()
         return item
 
+    def clear(self) -> int:
+        """Drop every buffered item and unblock every waiting putter.
+
+        Models a hardware FIFO reset: the contents (including items that
+        blocked putters were still trying to push) are gone, but the
+        producers themselves proceed as if their write landed.  Returns
+        the number of items discarded.
+        """
+        dropped = len(self.items)
+        self.items.clear()
+        while True:
+            entry = self._next_putter()
+            if entry is None:
+                break
+            put_event, _item = entry
+            put_event.succeed()
+            dropped += 1
+        return dropped
+
 
 class Container:
     """A continuous quantity (e.g. a credit pool measured in bytes)."""

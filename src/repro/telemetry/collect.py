@@ -89,6 +89,24 @@ def collect_card_metrics(driver, registry: MetricsRegistry = None) -> MetricsReg
     for scheduler in driver.schedulers:
         scheduler.export_metrics(reg)
 
+    # -- health: watchdog verdicts + recovery pipeline -------------------
+    monitor = driver.health
+    if monitor is not None:
+        _set_counter(reg, "health.polls", monitor.polls)
+        _set_counter(reg, "health.hung_verdicts", monitor.hung_verdicts)
+        _set_counter(
+            reg,
+            "health.watchdog_trips",
+            sum(w.trips for w in monitor._watchdogs.values()),
+        )
+    recovery = driver.recovery
+    if recovery is not None:
+        _set_counter(reg, "health.recoveries", recovery.total_recoveries())
+        _set_counter(reg, "health.quarantines", recovery.quarantines)
+        _set_counter(reg, "health.completions_failed", recovery.completions_failed)
+        _set_counter(reg, "health.descriptors_dropped", recovery.descriptors_dropped)
+        _set_counter(reg, "health.tlb_entries_flushed", recovery.tlb_entries_flushed)
+
     return reg
 
 

@@ -113,3 +113,32 @@ def test_encrypt_decrypt_roundtrip_property(key, block):
 def test_cbc_roundtrip_property(key, iv, nblocks, data):
     plain = data.draw(st.binary(min_size=16 * nblocks, max_size=16 * nblocks))
     assert aes_cbc_decrypt(aes_cbc_encrypt(plain, key, iv), key, iv) == plain
+
+
+def test_cached_round_keys_identical_ciphertext():
+    """The pre-expanded key schedule (cached per setCSR by the AES apps'
+    hot path) must produce byte-identical output to per-call expansion."""
+    key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+    iv = bytes(range(16))
+    data = bytes((7 * i) % 256 for i in range(64 * 16))
+    schedule = aes_expand_key(key)
+    assert aes_ecb_encrypt(data, key) == aes_ecb_encrypt(
+        data, key, round_keys=schedule
+    )
+    assert aes_cbc_encrypt(data, key, iv) == aes_cbc_encrypt(
+        data, key, iv, round_keys=schedule
+    )
+    assert aes_cbc_decrypt(data, key, iv) == aes_cbc_decrypt(
+        data, key, iv, round_keys=schedule
+    )
+
+
+def test_app_reuses_cached_schedule():
+    """_AesAppBase expands once per key write, not once per message."""
+    from repro.apps.aes import AesEcbApp
+
+    app = AesEcbApp()
+    first = app._keys()
+    assert app._keys() is first  # cached across invocations
+    app.on_csr_write(0, 0x0123456789ABCDEF)
+    assert app._keys() is not first  # key change re-expands

@@ -163,7 +163,8 @@ def test_rr_arbiter_sees_both_tenants():
 
     procs = [env.process(client(v)) for v in range(2)]
     env.run(AllOf(env, procs))
-    assert shell.dynamic.host_mover.rd_arbiter.grants == 32  # 16 packets each
+    packets_each = (1 << 16) // MoverConfig().packet_bytes
+    assert shell.dynamic.host_mover.rd_arbiter.grants == 2 * packets_each
 
 
 def test_assembler_mixed_partial_takes_consume_real_prefix():

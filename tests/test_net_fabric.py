@@ -130,3 +130,32 @@ def test_cmac_counters():
     assert cmac_b.rx_frames == 2
     assert cmac_b.rx_bytes == 2 * pkt.wire_length
     assert len(cmac_b.rx_queue) == 2
+
+
+def test_detach_while_frame_in_flight_is_unroutable():
+    """A port unplugged (shell reconfiguration) while a frame is crossing
+    the switch must not receive it: membership is re-checked at delivery."""
+    env = Environment()
+    switch = Switch(env)
+    cmac_a, cmac_b = Cmac(env), Cmac(env)
+    switch.attach(MAC_A, cmac_a)
+    switch.attach(MAC_B, cmac_b)
+
+    pkt = packet()
+    serialise_ns = (pkt.wire_length + FRAME_OVERHEAD_BYTES) / CMAC_BANDWIDTH
+
+    def sender():
+        yield from cmac_a.tx(pkt)
+
+    def unplug():
+        # tx serialisation finishes first, then the frame sits in the
+        # switch for latency_ns; detach inside that window.
+        yield env.timeout(serialise_ns + switch.latency_ns / 2)
+        switch.detach(MAC_B)
+
+    env.process(sender())
+    env.process(unplug())
+    env.run()
+    assert cmac_b.rx_frames == 0
+    assert switch.unroutable == 1
+    assert switch.forwarded == 0
