@@ -1,0 +1,41 @@
+"""``repro.analysis`` — correctness tooling for the reproduction.
+
+Two halves (DESIGN.md "Correctness tooling"):
+
+* a **static analyzer** (``python -m repro.analysis src tests
+  benchmarks``) with repo-specific AST rules — determinism (DET001/2,
+  SIM001), credit pairing (RES001), string-registry hygiene
+  (FLT001/TEL001) and generated-doc drift (DOC001) — each waivable with
+  ``# repro: allow[RULE] justification``;
+* a **runtime SimSanitizer** (``REPRO_SANITIZE=1``) asserting event-time
+  monotonicity, credit conservation and telemetry type stability — the
+  dynamic invariants the AST cannot prove.
+
+Stdlib-``ast`` only; the analyzer never imports the tree it checks.
+"""
+
+from .analyzer import AnalysisResult, run_paths
+from .findings import Finding, RULE_CATALOG
+from .sanitizer import (
+    SanitizerError,
+    SimSanitizer,
+    Violation,
+    activate,
+    current,
+    deactivate,
+    enabled,
+)
+
+__all__ = [
+    "AnalysisResult",
+    "run_paths",
+    "Finding",
+    "RULE_CATALOG",
+    "SimSanitizer",
+    "SanitizerError",
+    "Violation",
+    "activate",
+    "current",
+    "deactivate",
+    "enabled",
+]

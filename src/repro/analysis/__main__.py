@@ -1,0 +1,93 @@
+"""CLI: ``python -m repro.analysis src tests benchmarks``.
+
+Exit status is the CI contract: 0 when the tree is clean, 1 when any
+finding or parse error survives waivers.  ``--explain CODE`` prints one
+rule's catalogue entry; ``--write-fault-table DESIGN.md`` regenerates
+the fault-site table from the registry (see ``fault_table.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .analyzer import run_paths
+from .fault_table import write_fault_table
+from .findings import RULE_CATALOG
+from .rules_registry import find_fault_registry_path, load_fault_registry
+
+
+def _explain(code: str) -> int:
+    info = RULE_CATALOG.get(code.upper())
+    if info is None:
+        print(f"unknown rule {code!r}; known: {', '.join(sorted(RULE_CATALOG))}")
+        return 1
+    print(f"{info.code}: {info.summary}")
+    print(f"  fix: {info.fixit}")
+    print(f"  waive: # repro: allow[{info.code}] <one-line justification>")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Repo-specific static analyzer: determinism, credit "
+        "pairing and registry hygiene (see DESIGN.md 'Correctness tooling').",
+    )
+    parser.add_argument("paths", nargs="*", type=Path, help="files or directories")
+    parser.add_argument("--explain", metavar="CODE", help="describe one rule and exit")
+    parser.add_argument(
+        "--write-fault-table",
+        metavar="DOC",
+        type=Path,
+        help="regenerate the FAULT_SITES table between markers in DOC",
+    )
+    parser.add_argument(
+        "--design-doc",
+        type=Path,
+        default=None,
+        help="DESIGN.md to drift-check (default: ./DESIGN.md when present)",
+    )
+    parser.add_argument(
+        "--fault-registry",
+        type=Path,
+        default=None,
+        help="plan.py to read FAULT_SITE_DOCS from (default: auto-locate)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.explain:
+        return _explain(args.explain)
+
+    if args.write_fault_table is not None:
+        registry = args.fault_registry or find_fault_registry_path(
+            args.paths or [Path("src")]
+        )
+        if registry is None:
+            print("error: cannot locate faults/plan.py registry", file=sys.stderr)
+            return 1
+        docs = load_fault_registry(registry)
+        if not write_fault_table(args.write_fault_table, docs):
+            print(
+                f"error: {args.write_fault_table} lacks the FAULT_SITES "
+                "marker comments",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"fault-site table refreshed in {args.write_fault_table}")
+        if not args.paths:
+            return 0
+
+    if not args.paths:
+        parser.error("no paths given (try: python -m repro.analysis src tests benchmarks)")
+
+    result = run_paths(
+        args.paths, design_doc=args.design_doc, fault_registry=args.fault_registry
+    )
+    print(result.render())
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

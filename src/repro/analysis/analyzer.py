@@ -1,0 +1,96 @@
+"""Analyzer orchestration: load modules, run rules, apply waivers.
+
+``run_paths(roots)`` is the single entry point the CLI and the test
+suite share.  Findings come back sorted ``(path, line, code)`` so the
+report — and therefore CI output — is deterministic, which is only
+fitting for a determinism linter.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from .fault_table import check_fault_table
+from .findings import Finding, make_finding
+from .modules import SourceModule, iter_python_files, load_module
+from .rules_determinism import check_det001, check_det002, check_sim001
+from .rules_registry import (
+    check_flt001,
+    check_tel001,
+    find_fault_registry_path,
+    load_fault_registry,
+)
+from .rules_resources import check_res001
+
+__all__ = ["AnalysisResult", "run_paths"]
+
+
+class AnalysisResult:
+    def __init__(self) -> None:
+        self.findings: List[Finding] = []
+        self.files_checked = 0
+        self.waivers_honoured = 0
+        self.errors: List[str] = []
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings and not self.errors
+
+    def render(self) -> str:
+        lines = [finding.render() for finding in self.findings]
+        lines.extend(f"error: {err}" for err in self.errors)
+        tally = (
+            f"{len(self.findings)} finding(s) in {self.files_checked} file(s)"
+            f" ({self.waivers_honoured} waiver(s) honoured)"
+        )
+        lines.append(tally)
+        return "\n".join(lines)
+
+
+def _module_findings(
+    module: SourceModule, sites: FrozenSet[str]
+) -> Tuple[List[Finding], int]:
+    raw: List[Finding] = []
+    raw += check_det001(module)
+    raw += check_det002(module)
+    raw += check_sim001(module)
+    raw += check_res001(module)
+    raw += check_flt001(module, sites)
+    raw += check_tel001(module)
+    kept = [f for f in raw if not module.waivers.suppresses(f)]
+    waived = len(raw) - len(kept)
+    kept += module.waivers.hygiene_findings()
+    return kept, waived
+
+
+def run_paths(
+    roots: List[Path],
+    design_doc: Optional[Path] = None,
+    fault_registry: Optional[Path] = None,
+) -> AnalysisResult:
+    result = AnalysisResult()
+    registry_path = fault_registry or find_fault_registry_path(roots)
+    docs: Dict[str, Tuple[str, str]] = {}
+    if registry_path is not None:
+        try:
+            docs = load_fault_registry(registry_path)
+        except (OSError, SyntaxError) as exc:
+            result.errors.append(f"cannot read fault registry {registry_path}: {exc}")
+    sites = frozenset(docs)
+    for path in iter_python_files(roots):
+        try:
+            module = load_module(path)
+        except SyntaxError as exc:
+            result.errors.append(f"cannot parse {path}: {exc}")
+            continue
+        result.files_checked += 1
+        findings, waived = _module_findings(module, sites)
+        result.waivers_honoured += waived
+        result.findings.extend(findings)
+    doc_path = design_doc if design_doc is not None else Path("DESIGN.md")
+    if docs and doc_path.exists():
+        result.findings.extend(check_fault_table(doc_path, docs))
+    result.findings.sort(key=lambda f: (f.path, f.line, f.code))
+    return result

@@ -1,0 +1,111 @@
+"""Finding records and the rule catalogue for ``repro.analysis``.
+
+Every rule has a stable code (grep-able, waivable), a one-line summary
+and a *fix-it* hint that tells the author what the repo-idiomatic repair
+looks like.  The catalogue is the single source of truth: the CLI help,
+DESIGN.md's rule table and the waiver validator all read it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+__all__ = ["Finding", "RuleInfo", "RULE_CATALOG", "is_known_rule"]
+
+
+@dataclass(frozen=True)
+class RuleInfo:
+    """Static description of one analyzer rule."""
+
+    code: str
+    summary: str
+    fixit: str
+
+
+#: code -> rule description.  Codes are grouped by invariant family:
+#: DET* determinism, RES* resource pairing, FLT*/TEL* registry hygiene,
+#: SIM* simulation purity, DOC* generated-doc drift, WAI* waiver hygiene.
+RULE_CATALOG: Dict[str, RuleInfo] = {
+    info.code: info
+    for info in (
+        RuleInfo(
+            "DET001",
+            "wall-clock or ambient entropy in sim-reachable code",
+            "route time through Environment.now / repro.sim.clock and "
+            "randomness through a seeded random.Random substream",
+        ),
+        RuleInfo(
+            "DET002",
+            "iteration over a set/frozenset in a module that schedules events",
+            "iterate sorted(...) or an ordered container so event order "
+            "cannot depend on hash seeding",
+        ),
+        RuleInfo(
+            "SIM001",
+            "blocking host call inside a simulation generator",
+            "model latency with env.timeout(...) instead of blocking the "
+            "host process",
+        ),
+        RuleInfo(
+            "RES001",
+            "credit acquire() without a release() guaranteed on all paths",
+            "pair acquire with try/finally release (or waive split-phase "
+            "destination-queue crediting with a justification)",
+        ),
+        RuleInfo(
+            "FLT001",
+            "fault-site string not present in the FAULT_SITES registry",
+            "use a site constant from repro.faults.plan, or register the "
+            "new site in FAULT_SITE_DOCS",
+        ),
+        RuleInfo(
+            "TEL001",
+            "telemetry metric name violates the component.metric convention",
+            "use a lowercase dot-separated 'domain.metric' path (see "
+            "DESIGN.md 'Metric naming')",
+        ),
+        RuleInfo(
+            "DOC001",
+            "generated FAULT_SITES table in DESIGN.md drifted from the registry",
+            "run `python -m repro.analysis --write-fault-table DESIGN.md`",
+        ),
+        RuleInfo(
+            "WAI001",
+            "waiver without a one-line justification",
+            "append the reason after the bracket: "
+            "`# repro: allow[RULE] why this is safe`",
+        ),
+        RuleInfo(
+            "WAI002",
+            "waiver that suppressed nothing (stale or misplaced)",
+            "delete the waiver, or move it onto the offending line",
+        ),
+    )
+}
+
+
+def is_known_rule(code: str) -> bool:
+    return code in RULE_CATALOG
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One analyzer finding, printable as ``file:line CODE message``."""
+
+    path: str
+    line: int
+    code: str
+    message: str
+    fixit: str = field(default="", compare=False)
+
+    def render(self) -> str:
+        text = f"{self.path}:{self.line} {self.code} {self.message}"
+        if self.fixit:
+            text += f"\n    fix: {self.fixit}"
+        return text
+
+
+def make_finding(path: str, line: int, code: str, message: str) -> Finding:
+    info = RULE_CATALOG[code]
+    return Finding(path=path, line=line, code=code, message=message, fixit=info.fixit)

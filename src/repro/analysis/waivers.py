@@ -1,0 +1,138 @@
+"""Waiver comments: ``# repro: allow[RULE] justification``.
+
+A waiver suppresses matching findings on its own line; a waiver on a
+comment-only line covers the next source line (so it can sit above the
+offending statement).  Several codes may share one waiver:
+``# repro: allow[DET001,DET002] reason``.  A file-scope waiver —
+``# repro: allow-file[RULE] reason`` anywhere in the file — covers every
+line, for files whose whole purpose is exempt (e.g. a wall-clock CLI).
+
+Waiver hygiene is itself checked: a waiver without a justification is a
+WAI001 finding and a waiver that suppressed nothing is WAI002, so stale
+escapes cannot silently accumulate as the tree evolves.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Set, Tuple
+
+from .findings import Finding, is_known_rule, make_finding
+
+__all__ = ["Waiver", "WaiverSet", "parse_waivers"]
+
+_WAIVER_RE = re.compile(
+    r"#\s*repro:\s*allow(?P<scope>-file)?\s*"
+    r"\[(?P<codes>[A-Z]{3}\d{3}(?:\s*,\s*[A-Z]{3}\d{3})*)\]"
+    r"[ \t]*(?P<why>.*)$"
+)
+
+
+@dataclass
+class Waiver:
+    """One parsed waiver comment."""
+
+    path: str
+    line: int               # line the waiver comment sits on (1-based)
+    codes: Tuple[str, ...]
+    justification: str
+    file_scope: bool = False
+    covers_line: int = 0    # line whose findings it suppresses (0 = whole file)
+    used: bool = field(default=False, compare=False)
+
+
+def parse_waivers(path: str, lines: Sequence[str]) -> List[Waiver]:
+    """Extract waivers from *comment tokens only* — a waiver example in a
+    docstring (like the ones in this module) must not register."""
+    waivers: List[Waiver] = []
+    source = "\n".join(lines) + "\n"
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError):  # pragma: no cover
+        return waivers
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        match = _WAIVER_RE.search(tok.string)
+        if match is None:
+            continue
+        lineno = tok.start[0]
+        codes = tuple(c.strip() for c in match.group("codes").split(","))
+        file_scope = match.group("scope") is not None
+        before = lines[lineno - 1][: tok.start[1]].strip()
+        covers = 0 if file_scope else (lineno if before else lineno + 1)
+        waivers.append(
+            Waiver(
+                path=path,
+                line=lineno,
+                codes=codes,
+                justification=match.group("why").strip(),
+                file_scope=file_scope,
+                covers_line=covers,
+            )
+        )
+    return waivers
+
+
+class WaiverSet:
+    """Waivers of one file, with use tracking for WAI002."""
+
+    def __init__(self, path: str, lines: Sequence[str]):
+        self.path = path
+        self.waivers = parse_waivers(path, lines)
+        self._by_line: Dict[int, List[Waiver]] = {}
+        self._file_scope: List[Waiver] = []
+        for waiver in self.waivers:
+            if waiver.file_scope:
+                self._file_scope.append(waiver)
+            else:
+                self._by_line.setdefault(waiver.covers_line, []).append(waiver)
+
+    def suppresses(self, finding: Finding) -> bool:
+        for waiver in self._by_line.get(finding.line, []):
+            if finding.code in waiver.codes:
+                waiver.used = True
+                return True
+        for waiver in self._file_scope:
+            if finding.code in waiver.codes:
+                waiver.used = True
+                return True
+        return False
+
+    def hygiene_findings(self) -> List[Finding]:
+        """WAI001 (no justification), WAI002 (unused), unknown codes."""
+        out: List[Finding] = []
+        for waiver in self.waivers:
+            unknown = [c for c in waiver.codes if not is_known_rule(c)]
+            if unknown:
+                out.append(
+                    make_finding(
+                        self.path,
+                        waiver.line,
+                        "WAI002",
+                        f"waiver names unknown rule(s) {', '.join(unknown)}",
+                    )
+                )
+                continue
+            if not waiver.justification:
+                out.append(
+                    make_finding(
+                        self.path,
+                        waiver.line,
+                        "WAI001",
+                        f"waiver for {', '.join(waiver.codes)} has no justification",
+                    )
+                )
+            if not waiver.used:
+                out.append(
+                    make_finding(
+                        self.path,
+                        waiver.line,
+                        "WAI002",
+                        f"waiver for {', '.join(waiver.codes)} suppressed no finding",
+                    )
+                )
+        return out

@@ -12,6 +12,18 @@ One :class:`Crediter` guards one (vFPGA, stream-kind) pair; a credit
 corresponds to one in-flight packet of destination-queue space, so holding
 a credit guarantees the shared data mover can always deposit the packet
 without blocking — that invariant is what contains back-pressure.
+
+Pairing discipline (enforced statically by the RES001 analyzer rule and
+dynamically by :class:`repro.analysis.SimSanitizer`):
+
+* same-process acquire/release pairs go through a :class:`CreditGuard`
+  with the release in a ``try``/``finally``;
+* split-phase crediting (acquire in the mover, release where the flit is
+  consumed) carries a ``# repro: allow[RES001]`` waiver naming the
+  releasing counterpart;
+* deliberate leaks injected by the ``app.wedge_credit`` chaos site are
+  recorded via :meth:`Crediter.wedge` so the sanitizer's conservation
+  check can tell sabotage from bugs.
 """
 
 from __future__ import annotations
@@ -22,7 +34,7 @@ from typing import Dict, Generator
 from ..sim.engine import Environment
 from ..sim.resources import Container
 
-__all__ = ["Crediter", "CreditConfig"]
+__all__ = ["Crediter", "CreditGuard", "CreditConfig"]
 
 
 @dataclass(frozen=True)
@@ -45,7 +57,16 @@ class Crediter:
         self.capacity = credits
         self._pool = Container(env, capacity=credits, init=credits)
         self.acquired_total = 0
+        self.released_total = 0
         self.stalls = 0
+        #: Credits deliberately leaked by the ``app.wedge_credit`` fault
+        #: site (cleared on :meth:`reset`, which reclaims them).
+        self.wedged = 0
+        #: Releases reset() still owes us: credits reclaimed while their
+        #: request drained may legally release into a full pool.
+        self._reclaim_budget = 0
+        if env.sanitizer is not None:
+            env.sanitizer.register_crediter(self)
 
     def acquire(self) -> Generator:
         """Take one credit; blocks (stalling the vFPGA) when exhausted."""
@@ -57,12 +78,28 @@ class Crediter:
     def release(self) -> None:
         """Replenish one credit (request marked complete / data consumed)."""
         if self._pool.level >= self.capacity:
-            # Already full: this credit was reclaimed by reset() while
-            # its request drained.  Dropping the release (instead of
-            # queueing a put the pool can never admit) keeps the pool
-            # exactly at capacity after a region hot-reset.
+            # Already full: either this credit was reclaimed by reset()
+            # while its request drained (budgeted, legal), or something
+            # double-released — a credit created from nothing, which the
+            # sanitizer reports.  Either way the pool stays at capacity.
+            if self._reclaim_budget > 0:
+                self._reclaim_budget -= 1
+            elif self.env.sanitizer is not None:
+                self.env.sanitizer.on_double_release(self)
             return
         self._pool.put(1)
+        self.released_total += 1
+
+    def wedge(self) -> None:
+        """Account one deliberately leaked credit (misbehaving-tenant
+        fault injection).  The credit is *not* returned to the pool; the
+        sanitizer's drain check subtracts ``wedged`` before calling the
+        remainder a leak."""
+        self.wedged += 1
+
+    def guard(self) -> "CreditGuard":
+        """A scoped holder for try/finally pairing (see RES001)."""
+        return CreditGuard(self)
 
     def reset(self) -> int:
         """Refill the pool to capacity (region hot-reset).
@@ -74,6 +111,8 @@ class Crediter:
         left queued are settled on the next pool operation.
         """
         reclaimed = self.in_flight
+        self._reclaim_budget += reclaimed
+        self.wedged = 0
         self._pool.level = float(self.capacity)
         return reclaimed
 
@@ -84,3 +123,47 @@ class Crediter:
     @property
     def in_flight(self) -> int:
         return self.capacity - self.available
+
+
+class CreditGuard:
+    """Scoped credit holder: makes the release side exception-safe.
+
+    Usage inside a simulation process::
+
+        guard = crediter.guard()
+        yield from guard.acquire()
+        try:
+            ...move the packet...
+        finally:
+            guard.release()
+
+    ``release()`` is a no-op when no credit is held, so it is safe in a
+    ``finally`` even when the process was interrupted *inside*
+    ``acquire()`` (the acquire never completed, nothing to give back).
+    ``release_all()`` drains every held credit — the teardown path for
+    guards that batch.
+    """
+
+    __slots__ = ("crediter", "held")
+
+    def __init__(self, crediter: Crediter):
+        self.crediter = crediter
+        self.held = 0
+
+    def acquire(self) -> Generator:
+        # repro: allow[RES001] guard plumbing: the pair is CreditGuard.release, called from the caller's finally
+        yield from self.crediter.acquire()
+        self.held += 1
+
+    def release(self) -> None:
+        if self.held == 0:
+            return
+        self.held -= 1
+        self.crediter.release()
+
+    def release_all(self) -> None:
+        while self.held:
+            self.release()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CreditGuard({self.crediter.name}, held={self.held})"

@@ -239,6 +239,7 @@ class HostDataMover(_CompletionMixin, _RegionResetMixin):
         while True:
             desc = yield queue.get()
             for packet in self.packetizer.split(desc):
+                # repro: allow[RES001] split-phase: VFpga.recv releases this credit when the deposited flit is consumed
                 yield from vfpga.rd_credits[StreamType.HOST].acquire()
                 yield from port.put(packet)
 
@@ -253,6 +254,7 @@ class HostDataMover(_CompletionMixin, _RegionResetMixin):
         while True:
             desc = yield queue.get()
             for packet in self.packetizer.split(desc):
+                # repro: allow[RES001] split-phase: _wr_dma releases this credit when the packet's host write lands
                 yield from vfpga.wr_credits[StreamType.HOST].acquire()
                 while staged.available < packet.length:
                     flit = yield from vfpga.host_out[dest].recv()
@@ -418,6 +420,7 @@ class CardDataMover(_CompletionMixin, _RegionResetMixin):
         while True:
             desc = yield queue.get()
             for packet in self.packetizer.split(desc):
+                # repro: allow[RES001] split-phase: VFpga.recv releases this credit when the deposited flit is consumed
                 yield from vfpga.rd_credits[StreamType.CARD].acquire()
                 paddr = yield self.env.process(
                     mmu.translate(desc.pid, packet.vaddr, MemLocation.CARD)
@@ -436,20 +439,26 @@ class CardDataMover(_CompletionMixin, _RegionResetMixin):
 
     def _wr_worker(self, vfpga: VFpga, mmu: Mmu, queue: Store) -> Generator:
         staged = _FlitAssembler()
+        guard = vfpga.wr_credits[StreamType.CARD].guard()
         while True:
             desc = yield queue.get()
             for packet in self.packetizer.split(desc):
-                yield from vfpga.wr_credits[StreamType.CARD].acquire()
-                while staged.available < packet.length:
-                    flit = yield from vfpga.card_out[desc.dest].recv()
-                    staged.push(flit)
-                payload = staged.take(packet.length)
-                paddr = yield self.env.process(
-                    mmu.translate(desc.pid, packet.vaddr, MemLocation.CARD, writable=True)
-                )
-                data = payload if payload is not None else bytes(packet.length)
-                yield self.env.process(self.hbm.write(paddr, data))
-                self.bytes_written += packet.length
-                vfpga.wr_credits[StreamType.CARD].release()
+                yield from guard.acquire()
+                try:
+                    while staged.available < packet.length:
+                        flit = yield from vfpga.card_out[desc.dest].recv()
+                        staged.push(flit)
+                    payload = staged.take(packet.length)
+                    paddr = yield self.env.process(
+                        mmu.translate(desc.pid, packet.vaddr, MemLocation.CARD, writable=True)
+                    )
+                    data = payload if payload is not None else bytes(packet.length)
+                    yield self.env.process(self.hbm.write(paddr, data))
+                    self.bytes_written += packet.length
+                finally:
+                    # Give the credit back even when a fault or a region
+                    # quiesce interrupts the move mid-packet — the leak
+                    # class app.wedge_credit chaos probes dynamically.
+                    guard.release()
                 if packet.last:
                     yield from self._complete(vfpga, packet, write=True)

@@ -14,6 +14,7 @@ from typing import Callable, Dict, Generator, List, Optional
 from ..axi.lite import RegisterFile
 from ..axi.stream import AxiStream
 from ..axi.types import Flit
+from ..faults.plan import APP_HANG, APP_WEDGE_CREDIT
 from ..sim.engine import Environment, Event, Process
 from ..sim.resources import Store
 from .credit import CreditConfig, Crediter
@@ -252,11 +253,14 @@ class VFpga:
         """
         flit = yield from self._in_streams(stream)[dest].recv()
         faults = self.faults
-        if faults is not None and faults.fires("app.wedge_credit", self):
-            self.credits_wedged += 1  # leaked: never released
+        if faults is not None and faults.fires(APP_WEDGE_CREDIT, self):
+            self.credits_wedged += 1
+            # Leaked, never released — but *accounted*, so the sanitizer's
+            # conservation check can tell injected sabotage from real leaks.
+            self.rd_credits[stream].wedge()
         else:
             self.rd_credits[stream].release()
-        if faults is not None and faults.fires("app.hang", self):
+        if faults is not None and faults.fires(APP_HANG, self):
             self.hangs_injected += 1
             # Wedge this lane on an event nothing ever triggers; only an
             # unload interrupt (region wipe) gets it out.

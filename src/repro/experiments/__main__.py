@@ -61,10 +61,10 @@ def main(argv) -> int:
         print(f"unknown experiments: {unknown}; choose from {sorted(RUNNERS)}")
         return 2
     for name in names:
-        started = time.time()
+        started = time.time()  # repro: allow[DET001] operator-facing wall time, printed only — never enters the sim
         result = RUNNERS[name]()
         print(result.render())
-        print(f"[{name}: {time.time() - started:.1f}s wall]\n")
+        print(f"[{name}: {time.time() - started:.1f}s wall]\n")  # repro: allow[DET001] operator-facing wall time, printed only — never enters the sim
     return 0
 
 

@@ -18,7 +18,9 @@ from .injector import FaultInjector
 from .plan import (
     APP_HANG,
     APP_WEDGE_CREDIT,
+    FAULT_SITE_DOCS,
     FAULT_SITES,
+    UnknownFaultSiteError,
     HBM_ECC_DOUBLE,
     HBM_ECC_SINGLE,
     ICAP_CRC,
@@ -39,6 +41,8 @@ __all__ = [
     "FaultInjector",
     "RetryPolicy",
     "FAULT_SITES",
+    "FAULT_SITE_DOCS",
+    "UnknownFaultSiteError",
     "NET_DROP",
     "NET_CORRUPT",
     "NET_DUPLICATE",

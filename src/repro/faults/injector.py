@@ -20,7 +20,7 @@ import random
 import zlib
 from typing import Any, Dict, List, Optional
 
-from .plan import FAULT_SITES, FaultPlan, FaultRule
+from .plan import FAULT_SITES, FaultPlan, FaultRule, UnknownFaultSiteError
 
 __all__ = ["FaultInjector"]
 
@@ -77,6 +77,11 @@ class FaultInjector:
         self.env = None  # bound on arm(); only needed for trace timestamps
         self._rules: Dict[str, List[_RuleState]] = {}
         for index, rule in enumerate(plan.rules):
+            # Arm-time validation, same typed error as FaultRule's plan-time
+            # check: a plan built around the dataclass (replace()/mocks/
+            # hand-rolled rule objects) still cannot arm a typo'd site.
+            if rule.site not in FAULT_SITES:
+                raise UnknownFaultSiteError(rule.site)
             state = _RuleState(rule, _derive_rng(plan.seed, rule.site, index))
             self._rules.setdefault(rule.site, []).append(state)
         self.event_counts: Dict[str, int] = {site: 0 for site in self._rules}
@@ -89,7 +94,7 @@ class FaultInjector:
         states = self._rules.get(site)
         if not states:
             if site not in FAULT_SITES:
-                raise ValueError(f"unknown fault site {site!r}")
+                raise UnknownFaultSiteError(site)
             return False
         self.event_counts[site] += 1
         fired = False

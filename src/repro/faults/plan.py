@@ -43,6 +43,8 @@ __all__ = [
     "FaultRule",
     "FaultPlan",
     "FAULT_SITES",
+    "FAULT_SITE_DOCS",
+    "UnknownFaultSiteError",
     "NET_DROP",
     "NET_CORRUPT",
     "NET_DUPLICATE",
@@ -68,22 +70,60 @@ MSIX_LOSS = "driver.msix"
 APP_HANG = "app.hang"
 APP_WEDGE_CREDIT = "app.wedge_credit"
 
+#: The registry proper: ``site -> (owning model, effect when fired)``.
+#: This single dict feeds three consumers that previously drifted apart:
+#: validation (``FAULT_SITES``), the FLT001 static-analysis cross-check
+#: (read via AST, never imported) and the generated table in DESIGN.md
+#: (``python -m repro.analysis --write-fault-table DESIGN.md``).
+FAULT_SITE_DOCS = {
+    NET_DROP: ("net.switch.Switch", "frame discarded in the fabric"),
+    NET_CORRUPT: (
+        "net.switch.Switch",
+        "bit error → receiver FCS/ICRC discard (counted as loss, never delivered)",
+    ),
+    NET_DUPLICATE: ("net.switch.Switch", "frame delivered twice, 50 ns apart"),
+    NET_REORDER: (
+        "net.switch.Switch",
+        "frame takes an adaptive-routing detour and arrives late",
+    ),
+    PCIE_REPLAY: (
+        "pcie.link.PcieLink",
+        "link-layer replay: extra latency on the DMA, data intact",
+    ),
+    HBM_ECC_SINGLE: (
+        "mem.hbm.HbmController",
+        "corrected in-line; `ecc_corrected` counter only",
+    ),
+    HBM_ECC_DOUBLE: (
+        "mem.hbm.HbmController",
+        "uncorrectable: access retried at 2× latency, `ecc_uncorrected` counted",
+    ),
+    ICAP_CRC: ("core.reconfig.Icap", "programming aborts with `IcapCrcError`"),
+    MSIX_LOSS: ("pcie.xdma.Xdma", "MSI-X interrupt lost; handlers never run"),
+    APP_HANG: (
+        "core.vfpga.VFpga",
+        "user logic wedges: a consuming lane parks until recovery wipes the region",
+    ),
+    APP_WEDGE_CREDIT: (
+        "core.vfpga.VFpga",
+        "tenant leaks one read credit per fire (`Crediter.wedge`), wedging the datapath",
+    ),
+}
+
 #: Every injection point the hardware models expose.
-FAULT_SITES = frozenset(
-    {
-        NET_DROP,
-        NET_CORRUPT,
-        NET_DUPLICATE,
-        NET_REORDER,
-        PCIE_REPLAY,
-        HBM_ECC_SINGLE,
-        HBM_ECC_DOUBLE,
-        ICAP_CRC,
-        MSIX_LOSS,
-        APP_HANG,
-        APP_WEDGE_CREDIT,
-    }
-)
+FAULT_SITES = frozenset(FAULT_SITE_DOCS)
+
+
+class UnknownFaultSiteError(ValueError):
+    """A fault site outside :data:`FAULT_SITES` — raised identically at
+    plan time (:class:`FaultRule`), arm time (``FaultInjector``) and
+    fire time, so a typo can never pick its moment to surface."""
+
+    def __init__(self, site: str):
+        super().__init__(
+            f"unknown fault site {site!r}; known: {sorted(FAULT_SITES)}"
+        )
+        self.site = site
 
 
 @dataclass(frozen=True)
@@ -108,9 +148,7 @@ class FaultRule:
 
     def __post_init__(self) -> None:
         if self.site not in FAULT_SITES:
-            raise ValueError(
-                f"unknown fault site {self.site!r}; known: {sorted(FAULT_SITES)}"
-            )
+            raise UnknownFaultSiteError(self.site)
         if not 0.0 <= self.probability <= 1.0:
             raise ValueError(f"probability {self.probability!r} outside [0, 1]")
         if self.max_fires is not None and self.max_fires < 0:

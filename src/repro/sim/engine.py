@@ -32,6 +32,22 @@ class SimulationError(Exception):
     """Raised for misuse of the simulation engine."""
 
 
+def _default_sanitizer():
+    """The process-wide SimSanitizer when ``REPRO_SANITIZE`` is set.
+
+    Lazy import: :mod:`repro.analysis` depends only on the stdlib, so
+    this cannot cycle back into the engine; when sanitizing is off the
+    import is skipped entirely and construction stays allocation-free.
+    """
+    import os
+
+    if not os.environ.get("REPRO_SANITIZE"):
+        return None
+    from ..analysis.sanitizer import current
+
+    return current()
+
+
 class Interrupt(Exception):
     """Raised inside a process that another process interrupted.
 
@@ -274,12 +290,19 @@ class Environment:
         #: Optional :class:`repro.telemetry.SimProfiler`; when attached it
         #: runs the callback loop under a per-component stopwatch.
         self.profiler = None
+        #: Optional :class:`repro.analysis.SimSanitizer`.  Auto-attached
+        #: process-wide under ``REPRO_SANITIZE=1``; observes only (never
+        #: perturbs event order), and costs one ``is None`` branch per
+        #: step when detached — same pattern as ``profiler``.
+        self.sanitizer = _default_sanitizer()
 
     # -- scheduling ------------------------------------------------------
 
     def _schedule(self, event: Event, delay: float, priority: int) -> None:
         if event._scheduled:
             return
+        if self.sanitizer is not None:
+            self.sanitizer.on_schedule(self, delay)
         event._scheduled = True
         heapq.heappush(
             self._queue, (self.now + delay, priority, next(self._seq), event)
@@ -311,6 +334,8 @@ class Environment:
         if not self._queue:
             raise SimulationError("no more events")
         when, _prio, _seq, event = heapq.heappop(self._queue)
+        if self.sanitizer is not None:
+            self.sanitizer.on_step(self, when)
         self.now = when
         self.events_processed += 1
         callbacks, event.callbacks = event.callbacks, None

@@ -23,6 +23,8 @@ from __future__ import annotations
 import math
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from ..analysis.sanitizer import observe_metric
+
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
 
 
@@ -200,6 +202,11 @@ class MetricsRegistry:
                 f"metric {name!r} already registered as "
                 f"{type(metric).__name__}, not {kind.__name__}"
             )
+        # Under REPRO_SANITIZE the sanitizer cross-checks the name against
+        # the component.metric convention and pins name -> kind across
+        # *all* registries (a clash between two nodes' registries would
+        # only surface much later, at cluster merge); no-op otherwise.
+        observe_metric(name, kind.__name__)
         return metric
 
     def counter(self, name: str) -> Counter:

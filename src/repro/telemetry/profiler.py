@@ -21,7 +21,7 @@ with no profiler attached the engine takes a single ``is None`` branch.
 from __future__ import annotations
 
 import re
-import time
+import time  # repro: allow-file[DET001] wall-clock attribution is this profiler's purpose; measurements are report-only and never feed back into the event stream
 from typing import Any, Dict, List, Optional
 
 __all__ = ["SimProfiler"]

@@ -15,6 +15,7 @@ def test_crediter_blocks_at_zero():
 
     def consumer():
         for i in range(3):
+            # repro: allow[RES001] test drives the pool dry on purpose; releaser() below is the pair
             yield from crediter.acquire()
             log.append((i, env.now))
 
@@ -36,8 +37,8 @@ def test_crediter_accounting():
     crediter = Crediter(env, credits=4)
 
     def proc():
-        yield from crediter.acquire()
-        yield from crediter.acquire()
+        yield from crediter.acquire()  # repro: allow[RES001] test asserts the in-flight count, so the credits stay held
+        yield from crediter.acquire()  # repro: allow[RES001] test asserts the in-flight count, so the credits stay held
 
     env.process(proc())
     env.run()

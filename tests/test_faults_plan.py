@@ -24,7 +24,7 @@ from repro.sim.tracing import Tracer
 
 def test_unknown_site_rejected():
     with pytest.raises(ValueError, match="unknown fault site"):
-        FaultRule(site="net.explode")
+        FaultRule(site="net.explode")  # repro: allow[FLT001] negative test: the typo is the point
 
 
 def test_probability_range_enforced():
@@ -126,7 +126,7 @@ def test_fire_history_does_not_shift_substream():
 def test_unknown_site_query_raises():
     injector = FaultInjector(FaultPlan())
     with pytest.raises(ValueError, match="unknown fault site"):
-        injector.fires("gpu.meltdown")
+        injector.fires("gpu.meltdown")  # repro: allow[FLT001] negative test: the typo is the point
 
 
 def test_unarmed_site_never_fires():

@@ -1,0 +1,212 @@
+"""Tests for the runtime SimSanitizer (repro.analysis.sanitizer).
+
+Each test attaches its *own* ``SimSanitizer`` instance (via
+``env.sanitizer``) so deliberate violations never leak into the
+process-wide sanitizer that the conftest gate inspects under
+``REPRO_SANITIZE=1``.
+"""
+
+import pytest
+
+from repro.analysis import SanitizerError, SimSanitizer
+from repro.analysis.sanitizer import activate, current, deactivate
+from repro.core.credit import Crediter
+from repro.sim import Environment
+from repro.telemetry import MetricsRegistry
+
+
+def sanitized_env():
+    env = Environment()
+    env.sanitizer = SimSanitizer()
+    return env
+
+
+# ---------------------------------------------------------------- credits
+
+
+def test_credit_leak_reported_and_names_the_guard():
+    env = sanitized_env()
+    crediter = Crediter(env, credits=4, name="v0-host-rd")
+
+    def leaky():
+        yield from crediter.acquire()  # repro: allow[RES001] the leak is the fixture
+
+    env.process(leaky())
+    env.run()
+    env.sanitizer.check_drain(env)
+    [violation] = env.sanitizer.violations
+    assert violation.kind == "credit.leak"
+    assert "v0-host-rd" in violation.message
+    assert "1 leaked" in violation.message
+    assert "v0-host-rd" in env.sanitizer.report()
+
+
+def test_paired_acquire_release_is_clean():
+    env = sanitized_env()
+    crediter = Crediter(env, credits=4, name="v0-host-rd")
+
+    def mover():
+        yield from crediter.acquire()
+        try:
+            yield env.timeout(10)
+        finally:
+            crediter.release()
+
+    env.process(mover())
+    env.run()
+    env.sanitizer.check_drain(env)
+    assert env.sanitizer.violations == []
+
+
+def test_wedged_credits_are_sabotage_not_leaks():
+    env = sanitized_env()
+    crediter = Crediter(env, credits=4, name="v0-host-rd")
+
+    def tenant():
+        yield from crediter.acquire()  # repro: allow[RES001] wedge() below accounts the deliberate leak
+        crediter.wedge()
+
+    env.process(tenant())
+    env.run()
+    env.sanitizer.check_drain(env)
+    assert env.sanitizer.violations == []
+
+
+def test_double_release_detected():
+    env = sanitized_env()
+    crediter = Crediter(env, credits=2, name="v0-card-wr")
+    crediter.release()  # pool already full: a credit from nothing
+    [violation] = env.sanitizer.violations
+    assert violation.kind == "credit.double_release"
+    assert "v0-card-wr" in violation.message
+
+
+def test_reset_reclaim_budget_absorbs_late_releases():
+    env = sanitized_env()
+    crediter = Crediter(env, credits=2, name="v0-card-wr")
+
+    def holder():
+        yield from crediter.acquire()  # repro: allow[RES001] reset() below reclaims; the late release tests the budget
+
+    env.process(holder())
+    env.run()
+    assert crediter.reset() == 1  # reclaims the in-flight credit
+    crediter.release()  # the wiped request's release lands late: budgeted
+    assert env.sanitizer.violations == []
+    crediter.release()  # budget spent: now it IS a double release
+    assert [v.kind for v in env.sanitizer.violations] == ["credit.double_release"]
+
+
+def test_check_drain_scoped_to_environment():
+    env_a, env_b = sanitized_env(), Environment()
+    env_b.sanitizer = env_a.sanitizer
+    crediter_b = Crediter(env_b, credits=2, name="other-env")
+
+    def leak():
+        yield from crediter_b.acquire()  # repro: allow[RES001] the leak is the fixture
+
+    env_b.process(leak())
+    env_b.run()
+    env_a.sanitizer.check_drain(env_a)  # env_a has no leaks
+    assert env_a.sanitizer.violations == []
+    env_a.sanitizer.check_drain(env_b)
+    assert [v.kind for v in env_a.sanitizer.violations] == ["credit.leak"]
+
+
+# ----------------------------------------------------------- monotonicity
+
+
+def test_negative_delay_schedule_is_a_violation():
+    env = sanitized_env()
+    env._schedule(env.event(), delay=-5.0, priority=1)
+    [violation] = env.sanitizer.violations
+    assert violation.kind == "monotonicity"
+    assert "into the past" in violation.message
+
+
+def test_past_dispatch_is_a_violation():
+    env = Environment(initial_time=100.0)
+    env.sanitizer = SimSanitizer()
+    event = env.event()
+    event._ok = True
+    env._schedule(event, delay=-50.0, priority=1)
+    env.step()  # dispatches the t=50 event after the clock reached t=100
+    kinds = [v.kind for v in env.sanitizer.violations]
+    assert kinds == ["monotonicity", "monotonicity"]
+    assert "after clock reached" in env.sanitizer.violations[1].message
+
+
+def test_normal_workload_is_monotonicity_clean():
+    env = sanitized_env()
+
+    def worker():
+        for _ in range(10):
+            yield env.timeout(7)
+
+    env.process(worker())
+    env.run()
+    assert env.sanitizer.violations == []
+
+
+# -------------------------------------------------------------- telemetry
+
+
+@pytest.fixture
+def global_sanitizer():
+    """Install a fresh process-wide sanitizer; restore whatever the run
+    had before (None, or the REPRO_SANITIZE singleton)."""
+    previous = current()
+    sanitizer = activate(SimSanitizer())
+    yield sanitizer
+    if previous is not None:
+        activate(previous)
+    else:
+        deactivate()
+
+
+def test_cross_registry_kind_clash_detected(global_sanitizer):
+    node_a, node_b = MetricsRegistry(), MetricsRegistry()
+    node_a.counter("pcie.replays").inc()
+    node_b.gauge("pcie.replays").set(1)  # same register, different kind
+    [violation] = global_sanitizer.violations
+    assert violation.kind == "telemetry.type"
+    assert "pcie.replays" in violation.message
+
+
+def test_dynamic_metric_name_convention_enforced(global_sanitizer):
+    registry = MetricsRegistry()
+    domain = "QP3"  # dynamically built name TEL001 cannot see
+    registry.counter(f"{domain}.ops").inc()
+    [violation] = global_sanitizer.violations
+    assert violation.kind == "telemetry.name"
+
+
+def test_conforming_metrics_are_clean(global_sanitizer):
+    registry = MetricsRegistry()
+    registry.counter("net.qp.3.ops").inc()
+    registry.histogram("pcie.latency_ns").observe(500)
+    MetricsRegistry().counter("net.qp.3.ops").inc()  # same kind: fine
+    assert global_sanitizer.violations == []
+
+
+# ----------------------------------------------------------------- report
+
+
+def test_strict_mode_raises_immediately():
+    env = Environment()
+    env.sanitizer = SimSanitizer(strict=True)
+    crediter = Crediter(env, credits=1, name="strict-pool")
+    with pytest.raises(SanitizerError, match="strict-pool"):
+        crediter.release()
+
+
+def test_report_and_reset():
+    sanitizer = SimSanitizer()
+    assert sanitizer.report() == "sanitizer: clean"
+    sanitizer._violate("credit.leak", "guard 'x': 1 leaked")
+    assert "1 violation(s)" in sanitizer.report()
+    with pytest.raises(SanitizerError):
+        sanitizer.raise_if_violations()
+    sanitizer.reset()
+    assert sanitizer.report() == "sanitizer: clean"
+    sanitizer.raise_if_violations()  # clean: no raise

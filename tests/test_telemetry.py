@@ -109,18 +109,18 @@ def test_registry_snapshot_nests_dot_paths():
 
 def test_registry_merge_is_additive_and_isolated():
     a, b = MetricsRegistry(), MetricsRegistry()
-    a.counter("c").inc(1)
-    b.counter("c").inc(2)
-    b.counter("only_b").inc(5)
-    b.histogram("h", [10]).observe(3)
+    a.counter("merge.c").inc(1)
+    b.counter("merge.c").inc(2)
+    b.counter("merge.only_b").inc(5)
+    b.histogram("merge.h", [10]).observe(3)
     a.merge(b)
-    assert a.counter("c").value == 3
-    assert a.counter("only_b").value == 5
-    assert a.histogram("h", [10]).count == 1
+    assert a.counter("merge.c").value == 3
+    assert a.counter("merge.only_b").value == 5
+    assert a.histogram("merge.h", [10]).count == 1
     # Merging copied, not aliased: mutating the merged-into registry must
     # not write through into the source.
-    a.counter("only_b").inc(100)
-    assert b.counter("only_b").value == 5
+    a.counter("merge.only_b").inc(100)
+    assert b.counter("merge.only_b").value == 5
 
 
 # ------------------------------------------------------------------- spans
