@@ -22,6 +22,8 @@ import time
 
 sys.path.insert(0, "src")
 
+import numpy as np  # noqa: E402
+
 from repro import Environment, Oper, RdmaSg, SgEntry  # noqa: E402
 from repro.apps import PassThroughApp  # noqa: E402
 from repro.cluster import FpgaCluster  # noqa: E402
@@ -29,19 +31,24 @@ from repro.core import LocalSg, ServiceConfig  # noqa: E402
 from repro.driver.report import card_report  # noqa: E402
 from repro.faults import (  # noqa: E402
     APP_HANG,
+    LINK_FLAP,
     NET_DROP,
+    NET_PARTITION,
+    NODE_CRASH,
     FaultInjector,
     FaultPlan,
     FaultRule,
 )
 from repro.health import (  # noqa: E402
+    ClusterHealthConfig,
+    ClusterMonitor,
     DecoupledError,
     HealthConfig,
     HealthMonitor,
     QuarantinedError,
     RecoveredError,
 )
-from repro.net import RdmaConfig  # noqa: E402
+from repro.net import CollectiveAbortError, RdmaConfig  # noqa: E402
 from repro.sim import AllOf  # noqa: E402
 
 
@@ -137,37 +144,139 @@ def run_seed(seed: int) -> dict:
     }
 
 
+def run_cluster_seed(seed: int) -> dict:
+    """Cluster soak: 4 nodes, seeded crash/flap/partition chaos, fault-
+    tolerant allreduce loop.  Every failed round must abort symmetrically
+    (no rank left parked — the final drain would livelock otherwise);
+    after healing partitions and rebuilding over the survivors, at least
+    one round must complete with the correct element-wise sum."""
+    env = Environment()
+    cluster = FpgaCluster(
+        env, 4,
+        services=ServiceConfig(
+            en_memory=True, en_rdma=True,
+            rdma=RdmaConfig(retransmit_timeout_ns=50_000),
+        ),
+    )
+    plan = FaultPlan(
+        seed=seed,
+        rules=[
+            FaultRule(site=NODE_CRASH, at_events=(120 + seed % 60,)),
+            FaultRule(site=NET_PARTITION, at_events=(50 + seed % 25,)),
+            FaultRule(site=LINK_FLAP, probability=(seed % 3) / 2000.0),
+        ],
+    )
+    FaultInjector(plan).arm_cluster(cluster)
+    monitor = ClusterMonitor(cluster, ClusterHealthConfig(interval_ns=50_000.0))
+    group = cluster.collective_group(timeout_ns=5_000_000.0)
+    members = list(range(4))  # node index per group rank
+
+    def run_round(grp, count):
+        """One allreduce over ``count`` ranks; returns (oks, errors)."""
+        chunk = 12  # element count divides 2, 3 and 4 ranks
+        results, errors = {}, {}
+
+        def member(rank):
+            payload = np.full(chunk, rank + 1, dtype="<u4").tobytes()
+            try:
+                results[rank] = yield from grp.allreduce(payload, rank=rank)
+            except CollectiveAbortError as exc:
+                errors[rank] = exc
+
+        procs = [env.process(member(r)) for r in range(count)]
+        env.run(AllOf(env, procs))
+        return results, errors
+
+    rounds_done = rounds_aborted = 0
+    for _ in range(12):
+        if rounds_done >= 3:
+            break
+        n = len(members)
+        results, errors = run_round(group, n)
+        if not errors:
+            expected = np.full(12, n * (n + 1) // 2, dtype="<u4").tobytes()
+            if any(results[r] != expected for r in range(n)):
+                raise AssertionError(f"seed {seed}: allreduce sum wrong")
+            rounds_done += 1
+            continue
+        # NCCL-style symmetric abort: every rank must have raised.
+        if len(errors) != n or results:
+            raise AssertionError(
+                f"seed {seed}: asymmetric abort ({len(errors)}/{n} raised)"
+            )
+        rounds_aborted += 1
+        cluster.switch.heal_all_partitions()
+        survivors = [m for m in members if cluster.nodes[m].alive]
+        if len(survivors) < 2:
+            break
+        ranks = [members.index(m) for m in survivors]
+        group = group.rebuild(ranks)
+        members = survivors
+    if rounds_done < 1:
+        raise AssertionError(f"seed {seed}: no allreduce round ever completed")
+    monitor.stop()
+    env.run()  # must quiesce: no parked rank, no live heartbeat loops
+    return {
+        "seed": seed,
+        "members": len(members),
+        "rounds": rounds_done,
+        "aborts": rounds_aborted,
+        "crashes": cluster.crashes,
+        "flaps": cluster.switch.link_flaps,
+        "partitions": cluster.switch.partitions_created,
+        "sim_ns": env.now,
+    }
+
+
+def _soak(name, fn, seeds, timeout, render) -> int:
+    failures = 0
+    for seed in range(seeds):
+        start = time.monotonic()
+        signal.alarm(timeout)
+        try:
+            row = fn(seed)
+        except SoakTimeout:
+            failures += 1
+            print(f"{name} seed {seed:4d}  TIMEOUT after {timeout}s "
+                  "(simulation livelock?)", flush=True)
+            continue
+        except AssertionError as exc:
+            failures += 1
+            print(f"{name} seed {seed:4d}  FAIL  {exc}", flush=True)
+            continue
+        finally:
+            signal.alarm(0)
+        elapsed = time.monotonic() - start
+        print(f"{name} seed {seed:4d}  ok  {render(row)} "
+              f"sim={row['sim_ns']:.0f}ns wall={elapsed:.1f}s", flush=True)
+    print(f"{name}: {seeds - failures}/{seeds} seeds clean", flush=True)
+    return failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--seeds", type=int, default=25,
                         help="number of seeds to soak (default 25)")
     parser.add_argument("--timeout", type=int, default=60,
                         help="wall-clock seconds allowed per seed")
+    parser.add_argument("--skip-cluster", action="store_true",
+                        help="run only the single-card health scenario")
     args = parser.parse_args(argv)
 
     signal.signal(signal.SIGALRM, _alarm)
-    failures = 0
-    for seed in range(args.seeds):
-        start = time.monotonic()
-        signal.alarm(args.timeout)
-        try:
-            row = run_seed(seed)
-        except SoakTimeout:
-            failures += 1
-            print(f"seed {seed:4d}  TIMEOUT after {args.timeout}s "
-                  "(simulation livelock?)", flush=True)
-            continue
-        except AssertionError as exc:
-            failures += 1
-            print(f"seed {seed:4d}  FAIL  {exc}", flush=True)
-            continue
-        finally:
-            signal.alarm(0)
-        elapsed = time.monotonic() - start
-        print(f"seed {seed:4d}  ok  card={row['card']:10s} "
-              f"recoveries={row['recoveries']} sim={row['sim_ns']:.0f}ns "
-              f"wall={elapsed:.1f}s", flush=True)
-    print(f"\n{args.seeds - failures}/{args.seeds} seeds clean")
+    failures = _soak(
+        "card", run_seed, args.seeds, args.timeout,
+        lambda row: f"card={row['card']:10s} recoveries={row['recoveries']}",
+    )
+    if not args.skip_cluster:
+        failures += _soak(
+            "cluster", run_cluster_seed, args.seeds, args.timeout,
+            lambda row: (
+                f"members={row['members']} rounds={row['rounds']} "
+                f"aborts={row['aborts']} crashes={row['crashes']} "
+                f"flaps={row['flaps']} parts={row['partitions']}"
+            ),
+        )
     return 1 if failures else 0
 
 

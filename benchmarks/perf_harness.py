@@ -162,13 +162,14 @@ def bench_multitenant_aes(quick: bool) -> Dict[str, Any]:
     )
 
 
-def bench_scheduler_churn(quick: bool) -> Dict[str, Any]:
-    requests = 8 if quick else 24
+def _run_churn(requests: int, cache_enabled: bool, profile: bool = False):
+    """One scheduler-churn pass; returns (env, scheduler, profiler, wall_s)."""
     env = Environment()
     shell = Shell(
         env, ShellConfig(num_vfpgas=1, services=ServiceConfig(en_memory=False))
     )
     driver = Driver(env, shell)
+    shell.static.icap.region_cache_enabled = cache_enabled
     flow = BuildFlow("u55c")
     checkpoint = LockedShellCheckpoint(
         "u55c", shell.config.services, shell.shell_id,
@@ -189,11 +190,30 @@ def bench_scheduler_churn(quick: bool) -> Dict[str, Any]:
         yield from scheduler.submit(kernel, body)
 
     procs = [env.process(client(i)) for i in range(requests)]
-    profiler = SimProfiler().attach(env)
+    profiler = SimProfiler().attach(env) if profile else None
     t0 = time.perf_counter()
     env.run(AllOf(env, procs))
     wall = time.perf_counter() - t0
-    profiler.detach()
+    if profiler is not None:
+        profiler.detach()
+    return env, scheduler, profiler, wall
+
+
+def bench_scheduler_churn(quick: bool) -> Dict[str, Any]:
+    requests = 8 if quick else 24
+    # A/B the per-region bitstream cache: the alternating kernels make
+    # every reconfiguration a cache hit after its first load, so the
+    # warm pass must finish in markedly less simulated time.
+    cold_env, _, _, _ = _run_churn(requests, cache_enabled=False)
+    env, scheduler, profiler, wall = _run_churn(
+        requests, cache_enabled=True, profile=True
+    )
+    icap = scheduler.driver.shell.static.icap
+    speedup = cold_env.now / env.now if env.now else 0.0
+    assert speedup > 1.2, (
+        f"bitstream cache must speed up scheduler churn: cold {cold_env.now} ns "
+        f"vs warm {env.now} ns (speedup {speedup:.2f}x)"
+    )
     wait = scheduler.queue_wait
     return _workload(
         "scheduler_churn",
@@ -210,6 +230,13 @@ def bench_scheduler_churn(quick: bool) -> Dict[str, Any]:
             "reconfigurations": scheduler.reconfigurations,
             "affinity_hits": scheduler.affinity_hits,
             "reconfig_failures": scheduler.reconfig_failures,
+            "bitstream_cache": {
+                "cold_sim_time_ns": cold_env.now,
+                "warm_sim_time_ns": env.now,
+                "speedup": speedup,
+                "cache_hits": icap.cache_hits,
+                "cache_misses": icap.cache_misses,
+            },
             "profile": profiler.report(top=6),
         },
     )
@@ -285,6 +312,14 @@ def validate_results(results: Dict[str, Any]) -> List[str]:
             expect(isinstance(wl.get(key), (int, float)) and wl[key] >= 0,
                    f"{where}.{key} must be a non-negative number")
         expect(isinstance(wl.get("detail"), dict), f"{where}.detail must be an object")
+        if wl.get("name") == "scheduler_churn" and isinstance(wl.get("detail"), dict):
+            cache = wl["detail"].get("bitstream_cache")
+            expect(isinstance(cache, dict),
+                   f"{where}.detail.bitstream_cache must be an object")
+            if isinstance(cache, dict):
+                expect(isinstance(cache.get("speedup"), (int, float))
+                       and cache["speedup"] > 1.0,
+                       f"{where} bitstream cache speedup must exceed 1.0")
     names = [wl.get("name") for wl in workloads or [] if isinstance(wl, dict)]
     expect(len(names) == len(set(names)), "workload names must be unique")
     return errors

@@ -18,7 +18,12 @@ from typing import Any, Callable, Dict, Generator, List, Optional
 from ..core.bitstream import Bitstream
 from ..core.vfpga import UserApp
 from ..driver.driver import Driver
-from ..health.errors import AdmissionError, QuarantinedError, RecoveredError
+from ..health.errors import (
+    AdmissionError,
+    NodeDownError,
+    QuarantinedError,
+    RecoveredError,
+)
 from ..sim.engine import Environment, Event, Interrupt
 from ..sim.resources import Container, Store
 from ..telemetry.metrics import Histogram, MetricsRegistry
@@ -156,6 +161,12 @@ class AppScheduler:
             raise SchedulerError(f"unknown kernel {kernel!r}")
         if self.quarantined:
             raise QuarantinedError(self.vfpga_id)
+        if self.driver.node_down:
+            # The whole card is down (cluster scope): reject at the door
+            # rather than queueing work that can only park.
+            raise NodeDownError(
+                self.driver.node_index if self.driver.node_index is not None else -1
+            )
         if self._slots is not None:
             if self._slots.level < 1:
                 if self.admission == "reject":
@@ -253,13 +264,16 @@ class AppScheduler:
                     )
                     result = yield self._running_proc
                 except Interrupt as intr:
-                    if self._paused and isinstance(intr.cause, RecoveredError):
-                        # Recovery aborted the body; park the request for
-                        # the replay/reject decision at resume time.
+                    if self._paused and isinstance(
+                        intr.cause, (RecoveredError, NodeDownError)
+                    ):
+                        # Recovery (or a node crash) aborted the body; park
+                        # the request for the replay/reject decision at
+                        # resume time.
                         self._aborted = request
                     else:
                         request.done.fail(intr)
-                except RecoveredError as exc:
+                except (RecoveredError, NodeDownError) as exc:
                     # The body saw its own completion fail before the
                     # quiesce interrupt landed; same disposition.
                     if self._paused:

@@ -8,12 +8,13 @@ attached to one shared switch, and a driver is bound.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from .core.dynamic_layer import ServiceConfig
 from .core.shell import Shell, ShellConfig
 from .core.vfpga import VFpgaConfig
 from .driver.driver import Driver
+from .health.errors import NodeDownError
 from .net.headers import MacAddress
 from .net.switch import Switch
 from .sim.engine import Environment
@@ -33,6 +34,8 @@ class FpgaNode:
     ip: int
     shell: Shell
     driver: Driver
+    #: False while crashed (see :meth:`FpgaCluster.crash_node`).
+    alive: bool = True
 
 
 class FpgaCluster:
@@ -70,15 +73,100 @@ class FpgaCluster:
                 mac=mac,
                 ip=ip,
             )
+            driver = Driver(env, shell)
+            driver.node_index = index
             self.nodes.append(
-                FpgaNode(index=index, mac=mac, ip=ip, shell=shell, driver=Driver(env, shell))
+                FpgaNode(index=index, mac=mac, ip=ip, shell=shell, driver=driver)
             )
+        self._by_mac: Dict[MacAddress, FpgaNode] = {
+            node.mac: node for node in self.nodes
+        }
+        # A seeded ``node.crash`` in the fabric takes the whole node down,
+        # not just its port.
+        self.switch.on_node_crash = self._on_node_crash
+        #: Attached :class:`repro.health.ClusterMonitor`, or ``None``.
+        self.monitor = None
+        #: Live :class:`repro.net.collectives.CollectiveGroup`\ s built via
+        #: :meth:`collective_group` (telemetry roll-up walks these).
+        self.collective_groups: List = []
+        self.crashes = 0
+        self.restores = 0
 
     def __len__(self) -> int:
         return len(self.nodes)
 
     def __getitem__(self, index: int) -> FpgaNode:
         return self.nodes[index]
+
+    # ------------------------------------------------------- fault tolerance
+
+    def _on_node_crash(self, mac: MacAddress) -> None:
+        node = self._by_mac.get(mac)
+        if node is not None:
+            self.crash_node(node.index)
+
+    def crash_node(self, index: int, reason: str = "crash") -> None:
+        """Take a whole card down, as a power loss would: its switch port
+        black-holes, every QP on its RDMA stack is flushed (peers see
+        retry exhaustion), pending driver completions fail with
+        :class:`NodeDownError`, and its schedulers quiesce so the
+        idempotent-replay-or-reject policy can run at restore time.
+        Idempotent while down."""
+        node = self.nodes[index]
+        if not node.alive:
+            return
+        node.alive = False
+        self.crashes += 1
+        self.switch.kill_port(node.mac)
+        exc = NodeDownError(index, reason)
+        rdma = node.shell.dynamic.rdma
+        if rdma is not None:
+            rdma.halt(reason=f"node {index} {reason}")
+        node.driver.node_down = True
+        for vfpga in node.shell.vfpgas:
+            node.driver.fail_pending(vfpga.vfpga_id, exc)
+        for scheduler in node.driver.schedulers:
+            scheduler.quiesce(exc)
+
+    def restore_node(self, index: int) -> None:
+        """Bring a crashed card back: port revived, its QPs recycled to
+        RESET (re-connect is the caller's job — e.g. ``rebuild()`` on a
+        collective group), schedulers resumed under the replay-or-reject
+        policy.  Idempotent while up."""
+        node = self.nodes[index]
+        if node.alive:
+            return
+        node.alive = True
+        self.restores += 1
+        self.switch.revive_port(node.mac)
+        rdma = node.shell.dynamic.rdma
+        if rdma is not None:
+            rdma.halted = False
+            for qpn in sorted(rdma.qps):
+                rdma.reset_qp(qpn)
+        node.driver.node_down = False
+        for scheduler in node.driver.schedulers:
+            scheduler.resume_after_recovery(quarantined=False)
+        if self.monitor is not None:
+            self.monitor.on_node_restored(index)
+
+    def alive_indices(self) -> List[int]:
+        return [node.index for node in self.nodes if node.alive]
+
+    def collective_group(self, qpn_base: int = 0x100, **kwargs):
+        """Build a :class:`repro.net.collectives.CollectiveGroup` over all
+        nodes' RDMA stacks and register it for telemetry roll-up."""
+        from .net.collectives import CollectiveGroup
+
+        stacks = []
+        for node in self.nodes:
+            rdma = node.shell.dynamic.rdma
+            if rdma is None:
+                raise ValueError(f"node {node.index} has no RDMA service")
+            stacks.append(rdma)
+        group = CollectiveGroup(self.env, stacks, qpn_base=qpn_base, **kwargs)
+        self.collective_groups.append(group)
+        return group
 
     def connect_qps(self, a: int, b: int, pid_a: int, pid_b: int,
                     qpn_a: int, qpn_b: int, vfpga: int = 0):

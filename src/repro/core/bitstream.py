@@ -47,3 +47,21 @@ class Bitstream:
         """Stable identity of a shell configuration (services + device)."""
         text = ",".join(sorted(self.services)) + "@" + self.device
         return hashlib.sha1(text.encode()).hexdigest()[:12]
+
+    @property
+    def checksum(self) -> str:
+        """Content identity of this artifact (the build flow is
+        deterministic, so the identity fields stand in for the bits).
+        Keys the per-region bitstream cache in the ICAP controller."""
+        text = "|".join(
+            (
+                self.kind,
+                self.target_region,
+                str(self.size_bytes),
+                ",".join(sorted(self.services)),
+                ",".join(self.apps),
+                self.device,
+                self.linked_shell,
+            )
+        )
+        return hashlib.sha1(text.encode()).hexdigest()[:16]

@@ -88,11 +88,18 @@ KERNEL_COPY_MBPS = 300.0
 class IcapController:
     """The centralised reconfiguration block in the static layer (§5.3)."""
 
+    #: Warm replays stream from the on-card cache as a compressed delta:
+    #: only this fraction of the bitstream crosses the ICAP again.
+    CACHE_REPLAY_FRACTION = 0.1
+    #: Per-region cache capacity, in distinct bitstreams (FIFO eviction).
+    CACHE_ENTRIES_PER_REGION = 8
+
     def __init__(
         self,
         env: Environment,
         xdma: Optional[Xdma] = None,
         port: ReconfigPort = COYOTE_ICAP,
+        region_cache_enabled: bool = True,
     ):
         self.env = env
         self.xdma = xdma
@@ -103,6 +110,37 @@ class IcapController:
         #: Armed :class:`repro.faults.FaultInjector`, or ``None``.
         self.faults = None
         self.crc_failures = 0
+        #: Bitstream cache (daemon mode, paper §9.6): recently programmed
+        #: bitstreams stay resident near the ICAP, keyed by checksum per
+        #: target region, so repeated A↔B churn pays the host staging and
+        #: the full ICAP stream only on the first encounter of each.
+        self.region_cache_enabled = region_cache_enabled
+        self._region_cache: dict = {}  # region -> {checksum: True}
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    def is_cached(self, bitstream: Bitstream) -> bool:
+        """Is this exact artifact resident in its region's cache?  The
+        driver consults this to skip disk read + copy_to_kernel."""
+        if not self.region_cache_enabled:
+            return False
+        entries = self._region_cache.get(bitstream.target_region)
+        return bool(entries) and bitstream.checksum in entries
+
+    def _cache_insert(self, bitstream: Bitstream) -> None:
+        if not self.region_cache_enabled:
+            return
+        entries = self._region_cache.setdefault(bitstream.target_region, {})
+        if bitstream.checksum in entries:
+            return
+        while len(entries) >= self.CACHE_ENTRIES_PER_REGION:
+            del entries[next(iter(entries))]  # FIFO: dicts keep insert order
+        entries[bitstream.checksum] = True
+
+    def _cache_invalidate(self, bitstream: Bitstream) -> None:
+        entries = self._region_cache.get(bitstream.target_region)
+        if entries:
+            entries.pop(bitstream.checksum, None)
 
     def program(self, bitstream: Bitstream, from_host: bool = True) -> Generator:
         """Stream a partial bitstream into the fabric.
@@ -111,18 +149,33 @@ class IcapController:
         utility XDMA channel concurrently with ICAP writes; the ICAP is
         the bottleneck (PCIe is ~15x faster), so only its time is charged
         on top of a one-descriptor pipeline fill.
+
+        A cache hit (this exact artifact recently programmed into the same
+        region) replays from on-card memory instead: no host pipeline
+        fill, and only :data:`CACHE_REPLAY_FRACTION` of the bits cross the
+        ICAP again.
         """
+        warm = self.is_cached(bitstream)
         grant = self._icap.request()
         yield grant
         try:
-            if from_host and self.xdma is not None:
-                # Pipeline fill: first 4 KB must arrive before ICAP starts.
-                yield self.env.process(self.xdma.read_host(0, 4096, overhead=True))
-            yield self.env.timeout(self.port.program_time_ns(bitstream.size_bytes))
+            if warm:
+                self.cache_hits += 1
+                stream_bytes = max(4096, int(bitstream.size_bytes * self.CACHE_REPLAY_FRACTION))
+            else:
+                if self.region_cache_enabled:
+                    self.cache_misses += 1
+                stream_bytes = bitstream.size_bytes
+                if from_host and self.xdma is not None:
+                    # Pipeline fill: first 4 KB must arrive before ICAP starts.
+                    yield self.env.process(self.xdma.read_host(0, 4096, overhead=True))
+            yield self.env.timeout(self.port.program_time_ns(stream_bytes))
             if self.faults is not None and self.faults.fires(ICAP_CRC, bitstream):
                 # Frame CRC mismatch detected while streaming: the region
-                # is now undefined.  No RECONFIG_DONE interrupt fires.
+                # is now undefined.  No RECONFIG_DONE interrupt fires, and
+                # the cached copy is no longer trusted.
                 self.crc_failures += 1
+                self._cache_invalidate(bitstream)
                 raise IcapCrcError(
                     f"CRC mismatch programming {bitstream.kind} bitstream for "
                     f"{bitstream.target_region!r} ({bitstream.size_bytes} bytes)"
@@ -130,7 +183,8 @@ class IcapController:
         finally:
             self._icap.release(grant)
         self.programs += 1
-        self.bytes_programmed += bitstream.size_bytes
+        self.bytes_programmed += stream_bytes
+        self._cache_insert(bitstream)
         if self.xdma is not None:
             yield self.env.process(
                 self.xdma.raise_msix(MsiVector.RECONFIG_DONE, value=self.programs)

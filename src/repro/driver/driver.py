@@ -23,7 +23,7 @@ from ..core.reconfig import IcapController, IcapCrcError, ReconfigError
 from ..core.shell import Shell
 from ..core.vfpga import UserApp
 from ..faults.retry import RetryPolicy
-from ..health.errors import DecoupledError, QuarantinedError
+from ..health.errors import DecoupledError, NodeDownError, QuarantinedError
 from ..mem.allocator import Allocation, AllocType, FrameAllocator, VirtualAllocator
 from ..mem.mmu import MemLocation, PageTable, PageTableEntry, SegmentationFault
 from ..mem.tlb import PAGE_1G, PAGE_2M, PAGE_4K
@@ -137,6 +137,14 @@ class Driver:
         self.recovery = None
         #: Regions with a PR in flight (watchdogs must not judge them).
         self._reconfiguring: Dict[int, int] = {}
+        #: Cluster scope (set by :class:`repro.cluster.FpgaCluster`): this
+        #: card's node index, whether the node is currently down (crashed
+        #: or declared dead — all new work is rejected with
+        #: :class:`repro.health.NodeDownError`), and the attached
+        #: :class:`repro.health.ClusterMonitor`, if any.
+        self.node_index: Optional[int] = None
+        self.node_down = False
+        self.cluster_health = None
 
     def attach_scheduler(self, scheduler) -> None:
         """Register an :class:`repro.api.AppScheduler` for telemetry."""
@@ -535,8 +543,13 @@ class Driver:
         ``retry_policy.max_retries`` surfaces to the caller.
         """
         self._reconfiguring[vfpga_id] = self._reconfiguring.get(vfpga_id, 0) + 1
+        icap = self.shell.static.icap
         try:
-            if cached:
+            if icap.is_cached(bitstream):
+                # Resident in the ICAP's region cache: no host staging at
+                # all — the fast path repeated A↔B churn rides on.
+                pass
+            elif cached:
                 mb = bitstream.size_bytes / 1e6
                 yield self.env.timeout(mb / 300.0 * 1e9)  # copy_to_kernel only
             else:
@@ -554,6 +567,8 @@ class Driver:
                     attempt += 1
                     self.reconfig_retries += 1
                     yield from self.retry_policy.sleep(self.env, attempt)
+                    # A CRC failure invalidated any cached copy, so the
+                    # retry always re-stages into kernel memory.
                     mb = bitstream.size_bytes / 1e6
                     yield self.env.timeout(mb / 300.0 * 1e9)  # re-stage in kernel
         finally:
@@ -612,6 +627,8 @@ class Driver:
                 f"pid {desc.pid} is bound to vFPGA {ctx.vfpga_id}, "
                 f"not {desc.vfpga_id}"
             )
+        if self.node_down:
+            raise NodeDownError(self.node_index if self.node_index is not None else -1)
         vfpga = self.shell.vfpgas[desc.vfpga_id]
         if vfpga.quarantined:
             raise QuarantinedError(desc.vfpga_id)

@@ -24,11 +24,14 @@ from .plan import (
     HBM_ECC_DOUBLE,
     HBM_ECC_SINGLE,
     ICAP_CRC,
+    LINK_FLAP,
     MSIX_LOSS,
     NET_CORRUPT,
     NET_DROP,
     NET_DUPLICATE,
+    NET_PARTITION,
     NET_REORDER,
+    NODE_CRASH,
     PCIE_REPLAY,
     FaultPlan,
     FaultRule,
@@ -54,4 +57,7 @@ __all__ = [
     "MSIX_LOSS",
     "APP_HANG",
     "APP_WEDGE_CREDIT",
+    "NODE_CRASH",
+    "LINK_FLAP",
+    "NET_PARTITION",
 ]

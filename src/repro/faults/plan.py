@@ -26,12 +26,26 @@ site                models
 ``driver.msix``     an MSI-X interrupt message lost in flight
 ``app.hang``        user logic wedges: a lane stops making forward progress
 ``app.wedge_credit``  user logic leaks a datapath credit per fire
+``node.crash``      a whole node dies: port killed, every QP flushed
+``link.flap``       a port's link drops and auto-recovers after a hold-off
+``net.partition``   a port pair stops exchanging frames until healed
 ==================  =====================================================
 
 The two ``app.*`` sites model *misbehaving tenants* rather than hardware
 faults: they fire inside the vFPGA's stream interface (each consumed
 flit is one event, the context is the :class:`~repro.core.vfpga.VFpga`),
 and exist to exercise the :mod:`repro.health` watchdog/recovery path.
+
+The three cluster sites (``node.crash``, ``link.flap``, ``net.partition``)
+fire per frame inside the switch — the same deterministic event stream as
+the classic ``net.*`` sites — but their effect is *stateful*: a crash
+stays down until :meth:`~repro.cluster.FpgaCluster.restore_node`, a flap
+heals itself after :data:`~repro.net.switch.LINK_FLAP_HOLDOFF_NS`, and a
+partition (the bidirectional pair keyed by the frame's src/dst ports)
+persists until ``Switch.heal_partition``.  They exist to exercise the
+cluster fault-tolerance path: :class:`~repro.health.ClusterMonitor`
+detection and :class:`~repro.net.collectives.CollectiveGroup` abort and
+rebuild.
 """
 
 from __future__ import annotations
@@ -56,6 +70,9 @@ __all__ = [
     "MSIX_LOSS",
     "APP_HANG",
     "APP_WEDGE_CREDIT",
+    "NODE_CRASH",
+    "LINK_FLAP",
+    "NET_PARTITION",
 ]
 
 NET_DROP = "net.drop"
@@ -69,6 +86,9 @@ ICAP_CRC = "icap.crc"
 MSIX_LOSS = "driver.msix"
 APP_HANG = "app.hang"
 APP_WEDGE_CREDIT = "app.wedge_credit"
+NODE_CRASH = "node.crash"
+LINK_FLAP = "link.flap"
+NET_PARTITION = "net.partition"
 
 #: The registry proper: ``site -> (owning model, effect when fired)``.
 #: This single dict feeds three consumers that previously drifted apart:
@@ -107,6 +127,18 @@ FAULT_SITE_DOCS = {
     APP_WEDGE_CREDIT: (
         "core.vfpga.VFpga",
         "tenant leaks one read credit per fire (`Crediter.wedge`), wedging the datapath",
+    ),
+    NODE_CRASH: (
+        "net.switch.Switch",
+        "the frame's source node dies: port killed, its stack's QPs flushed; stays down until restored",
+    ),
+    LINK_FLAP: (
+        "net.switch.Switch",
+        "the frame's source port drops link; frames black-hole until the hold-off expires",
+    ),
+    NET_PARTITION: (
+        "net.switch.Switch",
+        "the frame's src/dst port pair stops exchanging frames bidirectionally until healed",
     ),
 }
 

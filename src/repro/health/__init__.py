@@ -14,10 +14,12 @@ is documented in DESIGN.md ("Card health & recovery").  Manual recovery
 without a monitor: ``env.process(driver.recover(vfpga_id))``.
 """
 
+from .cluster import ClusterHealthConfig, ClusterMonitor
 from .errors import (
     AdmissionError,
     DecoupledError,
     HealthError,
+    NodeDownError,
     QuarantinedError,
     RecoveredError,
 )
@@ -39,5 +41,8 @@ __all__ = [
     "QuarantinedError",
     "DecoupledError",
     "AdmissionError",
+    "NodeDownError",
+    "ClusterMonitor",
+    "ClusterHealthConfig",
     "health_section",
 ]

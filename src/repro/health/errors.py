@@ -13,6 +13,7 @@ __all__ = [
     "QuarantinedError",
     "DecoupledError",
     "AdmissionError",
+    "NodeDownError",
 ]
 
 
@@ -49,6 +50,19 @@ class DecoupledError(HealthError):
     def __init__(self, vfpga_id: int):
         super().__init__(f"vFPGA {vfpga_id} is decoupled for recovery")
         self.vfpga_id = vfpga_id
+
+
+class NodeDownError(HealthError):
+    """The whole node (card) is down — crashed, or declared dead by the
+    cluster failure detector.  Work targeting it is rejected (or flushed,
+    if already in flight) instead of parking forever; the scheduler's
+    idempotent-replay-or-reject policy decides each request's fate once
+    the node is restored."""
+
+    def __init__(self, node_index: int, reason: str = "node down"):
+        super().__init__(f"node {node_index} is down ({reason})")
+        self.node_index = node_index
+        self.reason = reason
 
 
 class AdmissionError(HealthError):

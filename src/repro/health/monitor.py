@@ -225,6 +225,14 @@ class HealthMonitor:
 
 def health_section(driver) -> Dict:
     """The ``card_report()["health"]`` section for one driver."""
+    section = _card_section(driver)
+    cluster = getattr(driver, "cluster_health", None)
+    if cluster is not None:
+        section["cluster"] = cluster.section()
+    return section
+
+
+def _card_section(driver) -> Dict:
     if driver.health is not None:
         return driver.health.report().as_dict()
     if driver.recovery is not None:

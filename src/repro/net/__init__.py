@@ -1,7 +1,13 @@
 """Networking substrate: RoCE v2 stack, CMAC, switch fabric, sniffer, PCAP."""
 
 from .cmac import CMAC_BANDWIDTH, Cmac
-from .collectives import CollectiveError, CollectiveGroup, sum_i32
+from .collectives import (
+    CollectiveAbortError,
+    CollectiveError,
+    CollectiveGroup,
+    CollectiveTimeoutError,
+    sum_i32,
+)
 from .headers import (
     ETHERTYPE_IPV4,
     IP_PROTO_UDP,
@@ -18,8 +24,15 @@ from .headers import (
 )
 from .packet import ParseError, RocePacket
 from .pcap import PcapWriter, read_pcap
-from .qp import PSN_MOD, QpEndpoint, QpState, QueuePair
-from .rdma import Completion, RdmaConfig, RdmaError, RdmaStack
+from .qp import PSN_MOD, QpEndpoint, QpState, QpTransitionError, QueuePair
+from .rdma import (
+    Completion,
+    QpStateError,
+    RdmaConfig,
+    RdmaError,
+    RdmaStack,
+    WrFlushError,
+)
 from .sniffer import TrafficSniffer, parse_capture_buffer
 from .switch import Switch
 from .tcp import TcpConnection, TcpError, TcpHeader, TcpPacket, TcpStack, TcpState
@@ -42,10 +55,13 @@ __all__ = [
     "QueuePair",
     "QpEndpoint",
     "QpState",
+    "QpTransitionError",
     "PSN_MOD",
     "RdmaStack",
     "RdmaConfig",
     "RdmaError",
+    "QpStateError",
+    "WrFlushError",
     "Completion",
     "Cmac",
     "CMAC_BANDWIDTH",
@@ -62,5 +78,7 @@ __all__ = [
     "TcpError",
     "CollectiveGroup",
     "CollectiveError",
+    "CollectiveAbortError",
+    "CollectiveTimeoutError",
     "sum_i32",
 ]

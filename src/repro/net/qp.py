@@ -1,9 +1,30 @@
-"""RDMA queue pairs.
+"""RDMA queue pairs: the full IB-style connection state machine.
 
 Mirrors Coyote v2's software surface where a cThread exchanges QP numbers
 and buffer descriptors out-of-band, then issues one-sided verbs.  The QP
 tracks the reliable-connection state: send PSN, acknowledged PSN, expected
 receive PSN and the message sequence number.
+
+State machine (InfiniBand verbs ``modify_qp`` ladder)::
+
+    RESET ──to_init──▶ INIT ──to_rtr──▶ RTR ──to_rts──▶ RTS
+      ▲                                                  │
+      │                              to_sq_error ────────┤
+      │                                   │              │
+      │                                   ▼              ▼
+      └────────── reset() ◀────────── SQ_ERROR ──────▶ ERROR
+                                        (to_error, from any state)
+
+``connect()`` is the out-of-band convenience that walks INIT→RTR→RTS in
+one call (the paper exchanges endpoints via TCP).  ``SQ_ERROR`` halts
+only the send queue (the responder half still delivers inbound work);
+``ERROR`` halts both.  ``reset()`` returns the QP to ``RESET`` from any
+state so recovery can re-connect — the path
+:class:`~repro.net.rdma.RdmaStack.reset_qp` takes after flushing.
+
+The transition methods only move the state; flushing outstanding work
+requests (as typed :class:`~repro.net.rdma.WrFlushError`\\ s) is the
+stack's job — see ``RdmaStack.qp_error``.
 """
 
 from __future__ import annotations
@@ -14,7 +35,7 @@ from typing import Optional
 
 from .headers import MacAddress
 
-__all__ = ["QpState", "QpEndpoint", "QueuePair", "PSN_MOD"]
+__all__ = ["QpState", "QpEndpoint", "QueuePair", "QpTransitionError", "PSN_MOD"]
 
 #: PSNs are 24-bit counters.
 PSN_MOD = 1 << 24
@@ -25,7 +46,20 @@ class QpState(Enum):
     INIT = "init"
     RTR = "ready-to-receive"
     RTS = "ready-to-send"
+    SQ_ERROR = "sq-error"
     ERROR = "error"
+
+
+class QpTransitionError(RuntimeError):
+    """An illegal ``modify_qp`` transition (e.g. ``connect`` from RTS)."""
+
+    def __init__(self, qpn: int, state: QpState, wanted: QpState):
+        super().__init__(
+            f"QP {qpn}: illegal transition {state.value!r} -> {wanted.value!r}"
+        )
+        self.qpn = qpn
+        self.state = state
+        self.wanted = wanted
 
 
 @dataclass(frozen=True)
@@ -52,21 +86,79 @@ class QueuePair:
     acked_psn: int = -1  # highest PSN acknowledged by the peer
     epsn: int = 0  # next PSN expected from the peer
     msn: int = 0  # messages completed at the responder
+    #: Why the QP left the operational states (diagnostics / WrFlushError).
+    error_reason: str = ""
 
     def __post_init__(self) -> None:
         self.sq_psn = self.local.psn
 
-    def connect(self, remote: QpEndpoint) -> None:
-        """Out-of-band connection setup (the paper exchanges this via TCP)."""
-        if self.state not in (QpState.INIT, QpState.RESET):
-            raise RuntimeError(f"cannot connect QP in state {self.state}")
+    # ------------------------------------------------------- modify_qp ladder
+
+    def to_init(self) -> None:
+        if self.state is not QpState.RESET:
+            raise QpTransitionError(self.local.qpn, self.state, QpState.INIT)
+        self.state = QpState.INIT
+
+    def to_rtr(self, remote: QpEndpoint) -> None:
+        """Install the remote endpoint; the receive side comes alive."""
+        if self.state is not QpState.INIT:
+            raise QpTransitionError(self.local.qpn, self.state, QpState.RTR)
         self.remote = remote
         self.epsn = remote.psn
+        self.state = QpState.RTR
+
+    def to_rts(self) -> None:
+        if self.state is not QpState.RTR:
+            raise QpTransitionError(self.local.qpn, self.state, QpState.RTS)
         self.state = QpState.RTS
+
+    def to_sq_error(self, reason: str = "send queue error") -> None:
+        """Halt the send queue only (responder half keeps serving)."""
+        if self.state in (QpState.SQ_ERROR, QpState.ERROR):
+            return
+        if self.state is not QpState.RTS:
+            raise QpTransitionError(self.local.qpn, self.state, QpState.SQ_ERROR)
+        self.state = QpState.SQ_ERROR
+        self.error_reason = reason
+
+    def to_error(self, reason: str = "error") -> None:
+        """Any state may move to ERROR (IB allows ``*2ERR``); idempotent."""
+        if self.state is QpState.ERROR:
+            return
+        self.state = QpState.ERROR
+        self.error_reason = reason
+
+    def reset(self) -> None:
+        """Back to RESET from any state, forgetting the connection — the
+        re-connect path recovery takes after a flush."""
+        self.state = QpState.RESET
+        self.remote = None
+        self.sq_psn = self.local.psn
+        self.acked_psn = -1
+        self.epsn = 0
+        self.msn = 0
+        self.error_reason = ""
+
+    # ------------------------------------------------------------ convenience
+
+    def connect(self, remote: QpEndpoint) -> None:
+        """Out-of-band connection setup (the paper exchanges this via TCP):
+        walks the INIT→RTR→RTS ladder in one call."""
+        if self.state is QpState.RESET:
+            self.to_init()
+        if self.state is not QpState.INIT:
+            raise QpTransitionError(self.local.qpn, self.state, QpState.RTS)
+        self.to_rtr(remote)
+        self.to_rts()
 
     @property
     def connected(self) -> bool:
         return self.state is QpState.RTS and self.remote is not None
+
+    @property
+    def in_error(self) -> bool:
+        """True in either error state; the send queue is unusable."""
+        return self.state in (QpState.SQ_ERROR, QpState.ERROR)
 
     def next_psn(self) -> int:
         psn = self.sq_psn

@@ -23,11 +23,45 @@ from .headers import AethHeader, BthHeader, MacAddress, RethHeader, RoceOpcode
 from .packet import RocePacket
 from .qp import PSN_MOD, QpEndpoint, QpState, QueuePair
 
-__all__ = ["RdmaConfig", "RdmaStack", "Completion", "RdmaError"]
+__all__ = [
+    "RdmaConfig",
+    "RdmaStack",
+    "Completion",
+    "RdmaError",
+    "QpStateError",
+    "WrFlushError",
+]
 
 
 class RdmaError(Exception):
     """Unrecoverable QP error (e.g. verbs on an unconnected QP)."""
+
+
+class QpStateError(RdmaError):
+    """A verb was armed on a QP whose state cannot carry it (ERROR,
+    SQ_ERROR, or simply never connected).  Raised at arm time instead of
+    silently queueing work that can never complete."""
+
+    def __init__(self, qpn: int, state: QpState, reason: str = ""):
+        detail = f" ({reason})" if reason else ""
+        super().__init__(f"QP {qpn} in state {state.value!r}{detail}")
+        self.qpn = qpn
+        self.state = state
+        self.reason = reason
+
+
+class WrFlushError(RdmaError):
+    """An outstanding work request was flushed because its QP moved to
+    ERROR (IB completion status ``IBV_WC_WR_FLUSH_ERR``).  Carries enough
+    context for the caller to know *which* connection died and why."""
+
+    def __init__(self, qpn: int, wr_id: int = 0, opcode: str = "", reason: str = ""):
+        detail = f": {reason}" if reason else ""
+        super().__init__(f"QP {qpn} flushed {opcode or 'WR'} wr_id={wr_id}{detail}")
+        self.qpn = qpn
+        self.wr_id = wr_id
+        self.opcode = opcode
+        self.reason = reason
 
 
 def psn_leq(a: int, b: int) -> bool:
@@ -111,13 +145,23 @@ class RdmaStack:
         self._window = Container(env, capacity=config.max_outstanding, init=config.max_outstanding)
         self._retransmit: Dict[int, Dict[int, RocePacket]] = {}  # qpn -> psn -> pkt
         self._pending: Dict[int, List[_PendingMessage]] = {}
-        self._last_progress = env.now
+        # Per-QP forward-progress clock: ACK arrival for that QP (or a
+        # finished go-back-N round).  Per-QP, not stack-global — a dead
+        # peer must exhaust its retry budget even while other QPs on the
+        # same stack are making steady progress.
+        self._last_progress: Dict[int, float] = {}
         self._timer_parked: Optional[Event] = None
         self._read_collect: Dict[int, dict] = {}  # qpn -> in-flight READ state
         self._atomic_pending: Dict[int, Dict[int, Event]] = {}  # qpn -> psn -> event
         self._recv_queues: Dict[int, Store] = {}
         self._responder_msg: Dict[int, _ResponderMsg] = {}
         self._nak_sent: Dict[int, bool] = {}
+        #: Timer-driven go-back-N rounds without forward progress, per QP.
+        #: Exceeding ``config.max_retries`` moves the QP to ERROR — the
+        #: requester-side signal that the peer (or the path to it) is dead.
+        self._retry_counts: Dict[int, int] = {}
+        #: True after :meth:`halt` — the whole stack is down (node crash).
+        self.halted = False
         self.stats = {
             "tx_packets": 0,
             "rx_packets": 0,
@@ -125,6 +169,8 @@ class RdmaStack:
             "naks_sent": 0,
             "naks_received": 0,
             "acks_sent": 0,
+            "qp_errors": 0,
+            "wr_flushes": 0,
         }
         #: Per-QP telemetry: completed verbs and payload bytes, the
         #: simulation's per-QP statistics registers.
@@ -179,8 +225,109 @@ class RdmaStack:
         self._recv_queues[qpn] = Store(self.env)
         self._responder_msg[qpn] = _ResponderMsg()
         self._nak_sent[qpn] = False
+        self._retry_counts[qpn] = 0
+        self._last_progress[qpn] = self.env.now
         self.qp_stats[qpn] = {"ops": 0, "bytes": 0}
         return qp
+
+    # --------------------------------------------------- QP error machinery
+
+    def qp_error(self, qpn: int, reason: str = "error") -> int:
+        """Move a QP to ERROR and flush every outstanding WR with a typed
+        :class:`WrFlushError` (IB semantics: the SQ/RQ drain as flushed
+        completions; nothing is left parked).  Window credits held by
+        unacked packets are refunded so other QPs keep their bandwidth.
+        Returns the number of flushed work requests.  Idempotent."""
+        qp = self.qps.get(qpn)
+        if qp is None:
+            raise RdmaError(f"no such QP {qpn}")
+        already = qp.state is QpState.ERROR
+        qp.to_error(reason)
+        if not already:
+            self.stats["qp_errors"] += 1
+        flushed = 0
+        buffered = self._retransmit.get(qpn)
+        if buffered:
+            self._window.put(len(buffered))
+            buffered.clear()
+        for msg in self._pending.get(qpn, []):
+            self._fail_event(msg.event, WrFlushError(qpn, msg.wr_id, msg.opcode, reason))
+            flushed += 1
+        self._pending[qpn] = []
+        read_state = self._read_collect.pop(qpn, None)
+        if read_state is not None:
+            self._fail_event(read_state["event"], WrFlushError(qpn, 0, "READ", reason))
+            flushed += 1
+        atomics = self._atomic_pending.pop(qpn, None)
+        if atomics:
+            for psn in sorted(atomics):
+                self._fail_event(atomics[psn], WrFlushError(qpn, 0, "ATOMIC", reason))
+                flushed += 1
+        queue = self._recv_queues.get(qpn)
+        if queue is not None:
+            # Posted receives with no data yet: flush the parked getters.
+            while queue._getters:
+                getter = queue._getters.popleft()
+                if getter._abandoned or getter.triggered:
+                    continue
+                self._fail_event(getter, WrFlushError(qpn, 0, "RECV", reason))
+                flushed += 1
+        self.stats["wr_flushes"] += flushed
+        return flushed
+
+    @staticmethod
+    def _fail_event(event: Event, exc: Exception) -> None:
+        if event.triggered:
+            return
+        # Pre-defuse: a flush may hit an event nobody awaits yet (e.g. a
+        # sender still parked on a window credit); an undefused failure
+        # would otherwise crash the simulation loop.
+        event._defused = True
+        event.fail(exc)
+
+    def reset_qp(self, qpn: int) -> QueuePair:
+        """Flush and return the QP to RESET so recovery can re-connect
+        (the verbs ``ERR → RESET → INIT → RTR → RTS`` recycle path)."""
+        qp = self.qps.get(qpn)
+        if qp is None:
+            raise RdmaError(f"no such QP {qpn}")
+        if not qp.in_error:
+            qp.to_error("reset")
+        self.qp_error(qpn, reason="reset")
+        qp.reset()
+        self._responder_msg[qpn] = _ResponderMsg()
+        self._nak_sent[qpn] = False
+        self._retry_counts[qpn] = 0
+        self._last_progress[qpn] = self.env.now
+        self._recv_queues[qpn].items.clear()
+        return qp
+
+    def destroy_qp(self, qpn: int) -> None:
+        """Flush and forget a QP entirely (collective-mesh teardown)."""
+        if qpn not in self.qps:
+            raise RdmaError(f"no such QP {qpn}")
+        self.qp_error(qpn, reason="destroyed")
+        del self.qps[qpn]
+        del self._retransmit[qpn]
+        del self._pending[qpn]
+        del self._recv_queues[qpn]
+        del self._responder_msg[qpn]
+        del self._nak_sent[qpn]
+        del self._retry_counts[qpn]
+        self._last_progress.pop(qpn, None)
+        self._read_collect.pop(qpn, None)
+        self._atomic_pending.pop(qpn, None)
+
+    def halt(self, reason: str = "node down") -> int:
+        """Take the whole stack down (node crash): every QP to ERROR with
+        its WRs flushed.  Clearing the retransmit buffers also parks the
+        retransmit timer, so a crashed node cannot keep the simulation
+        alive retrying into a dead port.  Returns total flushed WRs."""
+        self.halted = True
+        flushed = 0
+        for qpn in sorted(self.qps):
+            flushed += self.qp_error(qpn, reason=reason)
+        return flushed
 
     def _complete_op(self, qpn: int, nbytes: int) -> None:
         per_qp = self.qp_stats.setdefault(qpn, {"ops": 0, "bytes": 0})
@@ -191,9 +338,18 @@ class RdmaStack:
         qp = self.qps.get(qpn)
         if qp is None:
             raise RdmaError(f"no such QP {qpn}")
+        if qp.in_error:
+            raise QpStateError(qpn, qp.state, qp.error_reason)
         if not qp.connected:
-            raise RdmaError(f"QP {qpn} not connected")
+            raise QpStateError(qpn, qp.state, "not connected")
         return qp
+
+    def _check_sq(self, qpn: int, qp: QueuePair) -> None:
+        """Mid-verb state re-check: a flush may land while a requester is
+        parked on a window credit; erroring here (with the freshly granted
+        credit refunded by the caller) beats transmitting into the void."""
+        if qp.in_error:
+            raise WrFlushError(qpn, 0, "SQ", qp.error_reason)
 
     def _segments(self, length: int) -> List[int]:
         mtu = self.config.mtu
@@ -246,8 +402,14 @@ class RdmaStack:
                 opcode = RoceOpcode.RDMA_WRITE_LAST
             else:
                 opcode = RoceOpcode.RDMA_WRITE_MIDDLE
-            yield self._window.get(1)
+            # Stage first, then take the credit: with no yield between the
+            # credit grant and _track(), a concurrent flush can account for
+            # every held credit from the retransmit buffer alone.
             payload = yield staged.get()
+            yield self._window.get(1)
+            if qp.in_error:
+                self._window.put(1)
+                self._check_sq(qpn, qp)
             psn = qp.next_psn()
             packet = RocePacket.build(
                 src_mac=self.mac,
@@ -291,6 +453,9 @@ class RdmaStack:
         # A READ request consumes one PSN per response packet, and one
         # window credit for the request (released when responses ack it).
         yield self._window.get(1)
+        if qp.in_error:
+            self._window.put(1)
+            self._check_sq(qpn, qp)
         for _ in range(nresp):
             qp.next_psn()
         done = Event(self.env)
@@ -349,6 +514,9 @@ class RdmaStack:
 
         qp = self._qp(qpn)
         yield self._window.get(1)
+        if qp.in_error:
+            self._window.put(1)
+            self._check_sq(qpn, qp)
         psn = qp.next_psn()
         done = Event(self.env)
         self._atomic_pending.setdefault(qpn, {})[psn] = done
@@ -389,6 +557,9 @@ class RdmaStack:
             else:
                 opcode = RoceOpcode.SEND_MIDDLE
             yield self._window.get(1)
+            if qp.in_error:
+                self._window.put(1)
+                self._check_sq(qpn, qp)
             psn = qp.next_psn()
             packet = RocePacket.build(
                 src_mac=self.mac,
@@ -413,6 +584,12 @@ class RdmaStack:
 
     def recv(self, qpn: int) -> Generator:
         """Blocking receive of one SEND message."""
+        qp = self.qps.get(qpn)
+        if qp is None:
+            raise RdmaError(f"no such QP {qpn}")
+        if qp.state is QpState.ERROR:
+            # SQ_ERROR still delivers inbound work; full ERROR does not.
+            raise QpStateError(qpn, qp.state, qp.error_reason)
         message = yield self._recv_queues[qpn].get()
         return message
 
@@ -425,10 +602,14 @@ class RdmaStack:
                 continue  # another protocol on the shared fabric
             self.stats["rx_packets"] += 1
             yield self.env.timeout(self.config.per_packet_processing_ns)
+            if self.halted:
+                continue  # a crashed node processes nothing
             qpn = packet.bth.dest_qp
             qp = self.qps.get(qpn)
             if qp is None or qp.remote is None:
                 continue  # drop traffic for unknown QPs
+            if qp.state is QpState.ERROR:
+                continue  # ERROR silently discards inbound work (IB)
             opcode = packet.bth.opcode
             if opcode == RoceOpcode.ACKNOWLEDGE:
                 self._handle_ack(qpn, qp, packet)
@@ -617,7 +798,8 @@ class RdmaStack:
 
     def _progress_ack(self, qpn: int, qp: QueuePair, psn: int) -> None:
         """Cumulative acknowledgement of every PSN <= psn."""
-        self._last_progress = self.env.now
+        self._last_progress[qpn] = self.env.now
+        self._retry_counts[qpn] = 0
         buffered = self._retransmit[qpn]
         released = [p for p in buffered if psn_leq(p, psn)]
         for p in released:
@@ -653,10 +835,14 @@ class RdmaStack:
                 continue  # acked while we were retransmitting earlier PSNs
             self.stats["retransmissions"] += 1
             yield from self._send_packet(packet)
-        self._last_progress = self.env.now
+        self._last_progress[qpn] = self.env.now
 
     def _track(self, qpn: int, psn: int, packet: RocePacket) -> None:
         """Buffer an unacked packet and wake the retransmit timer."""
+        if not self._retransmit[qpn]:
+            # First outstanding packet after an idle spell starts the
+            # progress clock; the timer fires one full timeout later.
+            self._last_progress[qpn] = self.env.now
         self._retransmit[qpn][psn] = packet
         if self._timer_parked is not None and not self._timer_parked.triggered:
             self._timer_parked.succeed()
@@ -675,10 +861,17 @@ class RdmaStack:
             outstanding = any(self._retransmit[q] for q in self._retransmit)
             if not outstanding:
                 continue
-            if self.env.now - self._last_progress < timeout:
-                continue
-            for qpn, buffered in self._retransmit.items():
+            for qpn in list(self._retransmit):
+                buffered = self._retransmit[qpn]
                 if not buffered:
+                    continue
+                if self.env.now - self._last_progress.get(qpn, 0.0) < timeout:
+                    continue
+                self._retry_counts[qpn] = self._retry_counts.get(qpn, 0) + 1
+                if self._retry_counts[qpn] > self.config.max_retries:
+                    # Retry budget exhausted: the peer (or the path) is
+                    # gone.  ERROR the QP; flushed WRs tell the requester.
+                    self.qp_error(qpn, reason="retry exhausted")
                     continue
                 oldest = min(
                     buffered, key=lambda p: (p - self.qps[qpn].acked_psn) % PSN_MOD

@@ -11,15 +11,23 @@ works but is deprecated.
 from __future__ import annotations
 
 import warnings
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Optional, Tuple
 
-from ..faults.plan import NET_CORRUPT, NET_DROP, NET_DUPLICATE, NET_REORDER
+from ..faults.plan import (
+    LINK_FLAP,
+    NET_CORRUPT,
+    NET_DROP,
+    NET_DUPLICATE,
+    NET_PARTITION,
+    NET_REORDER,
+    NODE_CRASH,
+)
 from ..sim.engine import Environment
 from .cmac import Cmac
 from .headers import MacAddress
 from .packet import RocePacket
 
-__all__ = ["Switch"]
+__all__ = ["Switch", "LINK_FLAP_HOLDOFF_NS"]
 
 #: Typical ToR cut-through forwarding latency.
 SWITCH_LATENCY_NS = 600.0
@@ -28,6 +36,11 @@ SWITCH_LATENCY_NS = 600.0
 REORDER_DETOUR_NS = 4 * SWITCH_LATENCY_NS
 #: Gap between the original and its injected duplicate.
 DUPLICATE_GAP_NS = 50.0
+#: How long a flapped link black-holes frames before auto-recovering.
+#: Chosen comfortably above the RDMA retransmit timeout so a flap always
+#: costs at least one go-back-N round, but well below the retry budget
+#: (``8 × 100 µs``) so a flap alone never escalates to a QP error.
+LINK_FLAP_HOLDOFF_NS = 250_000.0
 
 
 class Switch:
@@ -40,12 +53,23 @@ class Switch:
         self._drop_fn: Optional[Callable[[RocePacket], bool]] = None
         #: Armed :class:`repro.faults.FaultInjector`, or ``None``.
         self.faults = None
+        # Cluster fault state (all dict-keyed on MacAddress; stateful,
+        # unlike the per-frame net.* sites).
+        self._dead: Dict[MacAddress, bool] = {}
+        self._link_down_until: Dict[MacAddress, float] = {}
+        self._partitions: Dict[Tuple[MacAddress, MacAddress], bool] = {}
+        #: Wired by :class:`repro.cluster.FpgaCluster`: invoked once when a
+        #: ``node.crash`` fires, with the dying port's MAC.
+        self.on_node_crash: Optional[Callable[[MacAddress], None]] = None
         self.forwarded = 0
         self.dropped = 0
         self.corrupted = 0
         self.duplicated = 0
         self.reordered = 0
         self.unroutable = 0
+        self.crashes = 0
+        self.link_flaps = 0
+        self.partitions_created = 0
 
     def counters(self) -> Dict[str, int]:
         """Telemetry snapshot of the fabric counters."""
@@ -56,6 +80,9 @@ class Switch:
             "duplicated": self.duplicated,
             "reordered": self.reordered,
             "unroutable": self.unroutable,
+            "crashes": self.crashes,
+            "link_flaps": self.link_flaps,
+            "partitions": self.partitions_created,
         }
 
     @property
@@ -85,14 +112,97 @@ class Switch:
         if self._ports.pop(mac, None) is None:
             raise ValueError(f"port {mac!r} is not attached")
 
+    # ------------------------------------------------- cluster fault state
+
+    @staticmethod
+    def _pair(a: MacAddress, b: MacAddress) -> Tuple[MacAddress, MacAddress]:
+        return (a, b) if a.value <= b.value else (b, a)
+
+    def kill_port(self, mac: MacAddress) -> None:
+        """Mark a port dead (node crash): frames from or to it black-hole.
+        The port stays attached so :meth:`revive_port` is just a flag flip."""
+        self._dead[mac] = True
+
+    def revive_port(self, mac: MacAddress) -> None:
+        self._dead.pop(mac, None)
+
+    def is_dead(self, mac: MacAddress) -> bool:
+        return mac in self._dead
+
+    def partition(self, a: MacAddress, b: MacAddress) -> None:
+        """Sever the (bidirectional) path between two ports until healed."""
+        key = self._pair(a, b)
+        if key not in self._partitions:
+            self._partitions[key] = True
+            self.partitions_created += 1
+
+    def heal_partition(self, a: MacAddress, b: MacAddress) -> bool:
+        """Restore a severed pair; returns True if one was actually healed."""
+        return self._partitions.pop(self._pair(a, b), None) is not None
+
+    def heal_all_partitions(self) -> int:
+        healed = len(self._partitions)
+        self._partitions.clear()
+        return healed
+
+    def is_partitioned(self, a: MacAddress, b: MacAddress) -> bool:
+        return self._pair(a, b) in self._partitions
+
+    def link_down(self, mac: MacAddress, duration_ns: float = LINK_FLAP_HOLDOFF_NS) -> None:
+        """Drop a port's link; it auto-recovers once the hold-off expires."""
+        until = self.env.now + duration_ns
+        if self._link_down_until.get(mac, 0.0) < until:
+            self._link_down_until[mac] = until
+
+    def link_is_down(self, mac: MacAddress) -> bool:
+        until = self._link_down_until.get(mac)
+        if until is None:
+            return False
+        if self.env.now >= until:
+            del self._link_down_until[mac]
+            return False
+        return True
+
     def _ingress(self, packet: RocePacket) -> None:
         if self._drop_fn is not None and self._drop_fn(packet):
+            self.dropped += 1
+            return
+        src = packet.eth.src
+        dst = packet.eth.dst
+        # Standing cluster-fault state first: frames involving a dead
+        # node, a downed link or a severed pair never reach the per-frame
+        # chaos sites (their event streams only shift when cluster faults
+        # are actually active, preserving the zero-overhead guarantee for
+        # plans that don't arm them).
+        if src in self._dead or dst in self._dead:
+            self.dropped += 1
+            return
+        if self.link_is_down(src) or self.link_is_down(dst):
+            self.dropped += 1
+            return
+        if self._pair(src, dst) in self._partitions:
             self.dropped += 1
             return
         delay = self.latency_ns
         copies = 1
         faults = self.faults
         if faults is not None:
+            if faults.fires(NODE_CRASH, packet):
+                self.crashes += 1
+                self.kill_port(src)
+                if self.on_node_crash is not None:
+                    self.on_node_crash(src)
+                self.dropped += 1
+                return
+            if faults.fires(LINK_FLAP, packet):
+                self.link_flaps += 1
+                self.link_down(src)
+                self.dropped += 1
+                return
+            if faults.fires(NET_PARTITION, packet):
+                self.partition(src, dst)
+                self.dropped += 1
+                return
             if faults.fires(NET_DROP, packet):
                 self.dropped += 1
                 return

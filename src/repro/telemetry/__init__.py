@@ -13,7 +13,7 @@ statistics and debug registers the Coyote v2 shell exposes to operators:
   into a registry (what ``card_report()['telemetry']`` shows).
 """
 
-from .collect import collect_card_metrics, collect_cluster_metrics
+from .collect import ClusterTelemetry, collect_card_metrics, collect_cluster_metrics
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .profiler import SimProfiler
 from .spans import Span, SpanRecorder
@@ -28,4 +28,5 @@ __all__ = [
     "SimProfiler",
     "collect_card_metrics",
     "collect_cluster_metrics",
+    "ClusterTelemetry",
 ]

@@ -10,9 +10,11 @@ per-node registries for a fabric-wide view.
 
 from __future__ import annotations
 
+from typing import Dict, Tuple
+
 from .metrics import MetricsRegistry
 
-__all__ = ["collect_card_metrics", "collect_cluster_metrics"]
+__all__ = ["collect_card_metrics", "collect_cluster_metrics", "ClusterTelemetry"]
 
 
 def _set_counter(registry: MetricsRegistry, name: str, value: int) -> None:
@@ -110,11 +112,9 @@ def collect_card_metrics(driver, registry: MetricsRegistry = None) -> MetricsReg
     return reg
 
 
-def collect_cluster_metrics(cluster) -> MetricsRegistry:
-    """Fabric-wide roll-up: merge every node's registry, add the switch."""
-    reg = MetricsRegistry()
-    for node in cluster.nodes:
-        reg.merge(collect_card_metrics(node.driver))
+def _collect_fabric(reg: MetricsRegistry, cluster) -> None:
+    """Fabric-scope metrics shared by the full and incremental roll-ups:
+    switch counters plus the cluster fault-tolerance layer."""
     switch = cluster.switch
     _set_counter(reg, "net.switch_forwarded", switch.forwarded)
     _set_counter(reg, "net.switch_dropped", switch.dropped)
@@ -122,4 +122,102 @@ def collect_cluster_metrics(cluster) -> MetricsRegistry:
     _set_counter(reg, "net.switch_duplicated", switch.duplicated)
     _set_counter(reg, "net.switch_reordered", switch.reordered)
     _set_counter(reg, "net.switch_unroutable", switch.unroutable)
+    _set_counter(reg, "net.switch_crashes", getattr(switch, "crashes", 0))
+    _set_counter(reg, "net.switch_link_flaps", getattr(switch, "link_flaps", 0))
+    _set_counter(
+        reg, "net.switch_partitions", getattr(switch, "partitions_created", 0)
+    )
+    _set_counter(reg, "cluster.node_crashes", getattr(cluster, "crashes", 0))
+    _set_counter(reg, "cluster.node_restores", getattr(cluster, "restores", 0))
+    nodes_alive = reg.gauge("cluster.nodes_alive")
+    nodes_alive.set(sum(1 for node in cluster.nodes if getattr(node, "alive", True)))
+    monitor = getattr(cluster, "monitor", None)
+    if monitor is not None:
+        monitor.export_metrics(reg)
+    seen_stats = []
+    for group in getattr(cluster, "collective_groups", []):
+        # Rebuilt groups share their predecessor's lifetime stats dict;
+        # count each communicator lineage once.
+        if any(group.stats is stats for stats in seen_stats):
+            continue
+        seen_stats.append(group.stats)
+        group.export_metrics(reg)
+
+
+def collect_cluster_metrics(cluster) -> MetricsRegistry:
+    """Fabric-wide roll-up: merge every node's registry, add the switch."""
+    reg = MetricsRegistry()
+    for node in cluster.nodes:
+        reg.merge(collect_card_metrics(node.driver))
+    _collect_fabric(reg, cluster)
     return reg
+
+
+class ClusterTelemetry:
+    """Incremental cluster snapshots for monitoring loops.
+
+    A monitoring tick over a big cluster must not rescan every node's QP
+    dicts when nothing moved.  Each node gets a cheap *fingerprint* — a
+    tuple of its busiest plain-int counters — and its full registry is
+    re-collected only when the fingerprint changed since the last
+    snapshot; unchanged nodes reuse the cached registry (their
+    env-global ``sim.*`` values go stale until the next change, by
+    design).  Fabric-scope metrics (switch, cluster health, collectives)
+    are cheap and always fresh.  :class:`repro.health.ClusterMonitor` is
+    the first consumer.
+    """
+
+    def __init__(self, cluster):
+        self.cluster = cluster
+        self._node_regs: Dict[int, MetricsRegistry] = {}
+        self._fingerprints: Dict[int, Tuple] = {}
+        self.refreshes = 0
+        self.node_rescans = 0
+        self.node_skips = 0
+
+    @staticmethod
+    def _fingerprint(node) -> Tuple:
+        driver = node.driver
+        shell = driver.shell
+        link = shell.static.xdma.link
+        rdma = shell.dynamic.rdma
+        tx = rx = flushes = 0
+        if rdma is not None:
+            tx = rdma.stats["tx_packets"]
+            rx = rdma.stats["rx_packets"]
+            flushes = rdma.stats["wr_flushes"]
+        sched = 0
+        for scheduler in driver.schedulers:
+            sched += (
+                scheduler.requests_served
+                + scheduler.reconfigurations
+                + scheduler.rejected_submits
+            )
+        return (
+            tx,
+            rx,
+            flushes,
+            link.h2c_bytes,
+            link.c2h_bytes,
+            driver.page_faults,
+            driver.node_down,
+            sched,
+        )
+
+    def snapshot(self) -> MetricsRegistry:
+        """Delta-aware :func:`collect_cluster_metrics` equivalent."""
+        self.refreshes += 1
+        reg = MetricsRegistry()
+        for node in self.cluster.nodes:
+            fingerprint = self._fingerprint(node)
+            cached = self._node_regs.get(node.index)
+            if cached is None or fingerprint != self._fingerprints.get(node.index):
+                cached = collect_card_metrics(node.driver)
+                self._node_regs[node.index] = cached
+                self._fingerprints[node.index] = fingerprint
+                self.node_rescans += 1
+            else:
+                self.node_skips += 1
+            reg.merge(cached)
+        _collect_fabric(reg, self.cluster)
+        return reg

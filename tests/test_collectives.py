@@ -1,4 +1,5 @@
-"""Tests for RDMA collectives (broadcast, ring allreduce)."""
+"""Tests for RDMA collectives (broadcast, ring allreduce) and their
+fault-tolerance contract: leg deadlines, symmetric abort, rebuild."""
 
 import numpy as np
 import pytest
@@ -6,8 +7,10 @@ import pytest
 from repro.mem import SparseMemory
 from repro.net import (
     Cmac,
+    CollectiveAbortError,
     CollectiveError,
     CollectiveGroup,
+    CollectiveTimeoutError,
     MacAddress,
     RdmaStack,
     Switch,
@@ -144,3 +147,115 @@ def test_allreduce_bandwidth_optimality():
     # below what n-1 full-buffer sends would need.
     naive_packets = (n - 1) * (len(payload) // 4096 + 1) * 2
     assert sent < naive_packets * 2
+
+
+# ------------------------------------------------- deadlines / abort / rebuild
+
+
+def test_allreduce_leg_timeout_names_the_offending_rank():
+    """A rank that never shows up must not park the others forever: the
+    leg deadline fires and the error says *who* was waited on."""
+    env, stacks = make_cluster(2)
+    group = CollectiveGroup(env, stacks)
+    payload = np.ones(8, dtype="<u4").tobytes()
+    outcome = {}
+
+    def member():
+        try:
+            yield from group.allreduce(payload, rank=0, timeout_ns=200_000.0)
+        except CollectiveTimeoutError as exc:
+            outcome["exc"] = exc
+
+    proc = env.process(member())  # rank 1 never joins
+    env.run(proc)
+    env.run()  # the abort left nothing parked
+    exc = outcome["exc"]
+    assert exc.rank == 0 and exc.peer == 1
+    assert "timed out at rank 0 waiting on rank 1" in str(exc)
+    assert isinstance(exc, CollectiveAbortError)  # timeouts abort the group
+    assert group.stats["timeouts"] == 1
+    assert group.aborted
+
+
+def test_broadcast_leg_timeout_on_missing_root():
+    env, stacks = make_cluster(2)
+    group = CollectiveGroup(env, stacks)
+    outcome = {}
+
+    def member():
+        try:
+            yield from group.broadcast(
+                root=0, payload=None, rank=1, timeout_ns=150_000.0
+            )
+        except CollectiveTimeoutError as exc:
+            outcome["exc"] = exc
+
+    proc = env.process(member())  # the root never broadcasts
+    env.run(proc)
+    env.run()
+    assert outcome["exc"].op == "broadcast"
+    assert outcome["exc"].peer == 0
+    assert group.stats["timeouts"] == 1
+
+
+def test_aborted_group_is_sticky_until_rebuilt():
+    env, stacks = make_cluster(2)
+    group = CollectiveGroup(env, stacks)
+    payload = np.ones(8, dtype="<u4").tobytes()
+
+    def member():
+        try:
+            yield from group.allreduce(payload, rank=0, timeout_ns=100_000.0)
+        except CollectiveTimeoutError:
+            pass
+
+    env.run(env.process(member()))
+    assert group.aborted
+    with pytest.raises(CollectiveAbortError) as exc_info:
+        group.allreduce(payload, rank=0).send(None)  # rejected at the door
+    assert isinstance(exc_info.value.cause, CollectiveTimeoutError)
+    with pytest.raises(CollectiveAbortError):
+        group.broadcast(root=0, payload=payload, rank=0).send(None)
+    env.run()
+
+
+@pytest.mark.parametrize("survivors,message", [
+    ([0], "at least 2 survivors"),
+    ([0, 0, 1], "must be unique"),
+])
+def test_rebuild_validates_the_survivor_list(survivors, message):
+    env, stacks = make_cluster(3)
+    group = CollectiveGroup(env, stacks)
+    with pytest.raises(CollectiveError, match=message):
+        group.rebuild(survivors)
+
+
+def test_rebuild_rejects_halted_survivors():
+    env, stacks = make_cluster(3)
+    group = CollectiveGroup(env, stacks)
+    stacks[2].halt(reason="crash")
+    with pytest.raises(CollectiveError, match="halted; not a survivor"):
+        group.rebuild([0, 1, 2])
+    env.run()
+
+
+def test_rebuild_shares_lifetime_stats_and_retires_the_old_group():
+    env, stacks = make_cluster(4)
+    group = CollectiveGroup(env, stacks)
+    rebuilt = group.rebuild([0, 1, 2])  # voluntary shrink
+    assert rebuilt is not group
+    assert rebuilt.stats is group.stats  # one communicator lineage
+    assert rebuilt.stats["rebuilds"] == 1
+    assert group.aborted and not rebuilt.aborted
+    payload = np.ones(12, dtype="<u4").tobytes()
+    results = {}
+
+    def member(rank):
+        results[rank] = yield from rebuilt.allreduce(payload, rank=rank)
+
+    procs = [env.process(member(r)) for r in range(3)]
+    env.run(AllOf(env, procs))
+    env.run()
+    expected = np.full(12, 3, dtype="<u4").tobytes()
+    assert all(results[r] == expected for r in range(3))
+    assert rebuilt.stats["completed"] == 3

@@ -206,3 +206,97 @@ def test_shell_remains_usable_after_reconfig():
         return ct.read_buffer(dst.vaddr, 13)
 
     assert env.run(env.process(main())) == b"post-reconfig"
+
+
+# ----------------------------------------------------- bitstream cache
+
+
+def _bs(region="vfpga0", size=8_000_000, seed=0):
+    return Bitstream(
+        kind=BitstreamKind.APP, target_region=region, size_bytes=size + seed
+    )
+
+
+def _program(env, icap, bitstream):
+    proc = env.process(icap.program(bitstream, from_host=False))
+    start = env.now
+    env.run(proc)
+    return env.now - start
+
+
+def test_bitstream_cache_warm_replay_streams_a_fraction():
+    env = Environment()
+    icap = IcapController(env)
+    bs = _bs()
+    cold = _program(env, icap, bs)
+    warm = _program(env, icap, bs)
+    assert icap.cache_misses == 1 and icap.cache_hits == 1
+    assert icap.is_cached(bs)
+    # Warm replay crosses the ICAP with only the compressed delta.
+    assert warm == pytest.approx(cold * IcapController.CACHE_REPLAY_FRACTION)
+    expected_bytes = bs.size_bytes + int(
+        bs.size_bytes * IcapController.CACHE_REPLAY_FRACTION
+    )
+    assert icap.bytes_programmed == expected_bytes
+
+
+def test_bitstream_cache_is_keyed_per_region():
+    env = Environment()
+    icap = IcapController(env)
+    bs_a = _bs(region="vfpga0")
+    _program(env, icap, bs_a)
+    # Same artifact bits, different target region: not a hit there.
+    bs_b = Bitstream(
+        kind=BitstreamKind.APP, target_region="vfpga1",
+        size_bytes=bs_a.size_bytes,
+    )
+    assert icap.is_cached(bs_a) and not icap.is_cached(bs_b)
+    _program(env, icap, bs_b)
+    assert icap.cache_hits == 0 and icap.cache_misses == 2
+
+
+def test_bitstream_cache_can_be_disabled():
+    env = Environment()
+    icap = IcapController(env, region_cache_enabled=False)
+    bs = _bs()
+    cold = _program(env, icap, bs)
+    assert not icap.is_cached(bs)
+    again = _program(env, icap, bs)
+    assert again == pytest.approx(cold)  # no fast path
+    assert icap.cache_hits == 0 and icap.cache_misses == 0
+
+
+def test_bitstream_cache_evicts_fifo_per_region():
+    env = Environment()
+    icap = IcapController(env)
+    streams = [
+        _bs(seed=i) for i in range(IcapController.CACHE_ENTRIES_PER_REGION + 1)
+    ]
+    for bitstream in streams:
+        _program(env, icap, bitstream)
+    assert not icap.is_cached(streams[0])  # the oldest got evicted
+    assert all(icap.is_cached(b) for b in streams[1:])
+
+
+def test_icap_crc_fault_invalidates_the_cached_entry():
+    from repro.core import IcapCrcError
+    from repro.faults import ICAP_CRC, FaultInjector, FaultPlan, FaultRule
+
+    env = Environment()
+    icap = IcapController(env)
+    icap.faults = FaultInjector(
+        FaultPlan(seed=2, rules=[FaultRule(site=ICAP_CRC, at_events=(1,))])
+    )
+    bs = _bs()
+    _program(env, icap, bs)
+    assert icap.is_cached(bs)
+    proc = env.process(icap.program(bs, from_host=False))
+    proc._defused = True
+    with pytest.raises(IcapCrcError):
+        env.run(proc)
+    # The region is undefined: the cached copy must not be trusted.
+    assert icap.crc_failures == 1
+    assert not icap.is_cached(bs)
+    _program(env, icap, bs)  # re-programs cold, re-populates
+    assert icap.is_cached(bs)
+    assert icap.cache_misses == 2
