@@ -199,8 +199,18 @@ def _run_churn(requests: int, cache_enabled: bool, profile: bool = False):
     return env, scheduler, profiler, wall
 
 
+#: Regression bound asserted here and by ``validate_results``: sim events
+#: attributed to the scheduler component per request served.  The edge-
+#: triggered loop runs at ~1.3 (one body event per request plus a shared
+#: wakeup/reconfig budget); the old level-triggered loop sat at ~2.0+.
+SCHED_EVENTS_PER_REQUEST_BOUND = 1.3
+
+
 def bench_scheduler_churn(quick: bool) -> Dict[str, Any]:
-    requests = 8 if quick else 24
+    # Same request count in quick mode: the events-per-request bound
+    # amortises the fixed wakeup/reconfig events over the request count,
+    # and 24 requests cost well under 0.1 s of wall time.
+    requests = 24
     # A/B the per-region bitstream cache: the alternating kernels make
     # every reconfiguration a cache hit after its first load, so the
     # warm pass must finish in markedly less simulated time.
@@ -213,6 +223,13 @@ def bench_scheduler_churn(quick: bool) -> Dict[str, Any]:
     assert speedup > 1.2, (
         f"bitstream cache must speed up scheduler churn: cold {cold_env.now} ns "
         f"vs warm {env.now} ns (speedup {speedup:.2f}x)"
+    )
+    sched_events = profiler.events.get("sched", 0)
+    events_per_request = sched_events / requests if requests else 0.0
+    assert events_per_request <= SCHED_EVENTS_PER_REQUEST_BOUND, (
+        f"edge-triggered scheduler regressed: {sched_events} sched events for "
+        f"{requests} requests = {events_per_request:.2f} events/request "
+        f"(bound {SCHED_EVENTS_PER_REQUEST_BOUND})"
     )
     wait = scheduler.queue_wait
     return _workload(
@@ -230,6 +247,11 @@ def bench_scheduler_churn(quick: bool) -> Dict[str, Any]:
             "reconfigurations": scheduler.reconfigurations,
             "affinity_hits": scheduler.affinity_hits,
             "reconfig_failures": scheduler.reconfig_failures,
+            "wakeups": scheduler.wakeups,
+            "dispatches": scheduler.dispatches,
+            "events_per_request": events_per_request,
+            "events_per_request_bound": SCHED_EVENTS_PER_REQUEST_BOUND,
+            "events_per_sec": profiler.events_per_sec,
             "bitstream_cache": {
                 "cold_sim_time_ns": cold_env.now,
                 "warm_sim_time_ns": env.now,
@@ -242,11 +264,49 @@ def bench_scheduler_churn(quick: bool) -> Dict[str, Any]:
     )
 
 
+def bench_engine_events(quick: bool) -> Dict[str, Any]:
+    """Raw DES-core throughput: dispatched events per host second.
+
+    A pure timer/relay stress with no hardware models attached, so the
+    number isolates the engine fast path (slots heap entries, relay
+    free-list, ``run_batch`` drain) from workload logic.
+    """
+    n_procs = 64
+    steps = 400 if quick else 2_000
+
+    env = Environment()
+
+    def ticker(pid):
+        for step_no in range(steps):
+            yield env.sleep(float((pid + step_no) % 7) + 1.0)
+
+    for pid in range(n_procs):
+        env.process(ticker(pid), name=f"tick{pid}")
+    profiler = SimProfiler().attach(env)
+    t0 = time.perf_counter()
+    env.run()
+    wall = time.perf_counter() - t0
+    profiler.detach()
+    return _workload(
+        "engine_events",
+        ops_per_s=env.events_processed / wall if wall else 0.0,
+        sim_time_ns=env.now,
+        wall_time_s=wall,
+        detail={
+            "processes": n_procs,
+            "steps_per_process": steps,
+            "events_processed": env.events_processed,
+            "events_per_sec": profiler.events_per_sec,
+        },
+    )
+
+
 WORKLOADS = [
     bench_hbm_scaling,
     bench_rdma_msgsize,
     bench_multitenant_aes,
     bench_scheduler_churn,
+    bench_engine_events,
 ]
 
 
@@ -320,6 +380,17 @@ def validate_results(results: Dict[str, Any]) -> List[str]:
                 expect(isinstance(cache.get("speedup"), (int, float))
                        and cache["speedup"] > 1.0,
                        f"{where} bitstream cache speedup must exceed 1.0")
+            epr = wl["detail"].get("events_per_request")
+            expect(isinstance(epr, (int, float)) and epr > 0,
+                   f"{where}.detail.events_per_request must be a positive number")
+            if isinstance(epr, (int, float)):
+                expect(epr <= SCHED_EVENTS_PER_REQUEST_BOUND,
+                       f"{where} events_per_request {epr} exceeds the "
+                       f"edge-trigger bound {SCHED_EVENTS_PER_REQUEST_BOUND}")
+        if wl.get("name") == "engine_events" and isinstance(wl.get("detail"), dict):
+            eps = wl["detail"].get("events_per_sec")
+            expect(isinstance(eps, (int, float)) and eps > 0,
+                   f"{where}.detail.events_per_sec must be a positive number")
     names = [wl.get("name") for wl in workloads or [] if isinstance(wl, dict)]
     expect(len(names) == len(set(names)), "workload names must be unique")
     return errors

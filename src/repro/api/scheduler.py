@@ -25,7 +25,7 @@ from ..health.errors import (
     RecoveredError,
 )
 from ..sim.engine import Environment, Event, Interrupt
-from ..sim.resources import Container, Store
+from ..sim.resources import Container
 from ..telemetry.metrics import Histogram, MetricsRegistry
 
 __all__ = ["AppScheduler", "SchedulerError", "KernelRegistration"]
@@ -90,7 +90,11 @@ class AppScheduler:
         self.max_queue_depth = max_queue_depth
         self._kernels: Dict[str, KernelRegistration] = {}
         self._queue: List[_Request] = []
-        self._wakeup: Store = Store(self.env)
+        #: Edge-triggered wakeup: armed (a pending Event) only while the
+        #: loop is idle with an empty queue.  Submitters fire the edge at
+        #: most once per idle period; while the loop is draining, a queue
+        #: append alone is enough — no per-request wakeup tokens.
+        self._wakeup: Optional[Event] = None
         #: Admission slots: the submit queue is bounded; a full queue
         #: back-pressures (``block``) or sheds (``reject``) new work so a
         #: slow or wedged region cannot absorb unbounded client state.
@@ -108,6 +112,11 @@ class AppScheduler:
         self.reconfig_failures = 0
         #: Requests served on the already-resident kernel (no PR needed).
         self.affinity_hits = 0
+        #: Edge-triggered loop telemetry: idle→work wakeup edges taken vs
+        #: requests dispatched off the queue.  A burst of N submits costs
+        #: one wakeup, so dispatches/wakeups is the coalescing factor.
+        self.wakeups = 0
+        self.dispatches = 0
         self.queue_depth_high_water = 0
         #: Admission-control telemetry.
         self.rejected_submits = 0
@@ -185,11 +194,22 @@ class AppScheduler:
             self.queue_depth_high_water = len(self._queue)
         if self.driver.health is not None:
             self.driver.health.notify_activity()
-        yield self._wakeup.put(object())
+        self._notify()
         result = yield request.done
         return result
 
     # ------------------------------------------------------------ scheduling
+
+    def _notify(self) -> None:
+        """Fire the wakeup edge iff the loop is parked idle.
+
+        Idempotent within one idle period: the first notifier triggers
+        the armed event, later ones see it triggered and do nothing (the
+        loop batch-drains the whole queue per wakeup anyway).
+        """
+        wakeup = self._wakeup
+        if wakeup is not None and not wakeup.triggered:
+            wakeup.succeed()
 
     def _pick(self) -> _Request:
         """FCFS with bounded affinity for the resident kernel.
@@ -219,75 +239,96 @@ class AppScheduler:
             yield self._gate
 
     def _scheduler_loop(self) -> Generator:
+        """Edge-triggered serve loop.
+
+        The loop arms a wakeup event only when the queue is empty, and on
+        each wakeup batch-drains every eligible request before parking
+        again.  Cost per request is therefore the request's own body (and
+        its reconfiguration, when the kernel switches) — not a wakeup
+        token round-trip per submit as in the old level-triggered Store
+        design.  ``wakeups``/``dispatches`` count the coalescing.
+        """
         while True:
-            yield self._wakeup.get()
-            yield from self._pause_gate()
             if not self._queue:
-                continue
-            request = self._pick()
-            if self._slots is not None and request.holds_slot:
-                self._slots.put(1)
-                request.holds_slot = False
-            self._running = request
-            self.queue_wait.observe(self.env.now - request.submitted_at)
-            try:
-                if request.kernel != self.loaded:
-                    registration = self._kernels[request.kernel]
-                    try:
-                        yield self.env.process(
-                            self.driver.reconfigure_app(
-                                registration.bitstream,
-                                self.vfpga_id,
-                                registration.factory(),
-                                cached=self.cached_bitstreams,
-                            )
-                        )
-                    except Exception as exc:
-                        # A reconfiguration that exhausted the driver's
-                        # retries fails only this request; the loop keeps
-                        # serving (the region still holds the last-good
-                        # kernel, if any).
-                        self.reconfig_failures += 1
-                        request.done.fail(exc)
-                        continue
-                    self.loaded = request.kernel
-                    self.loaded_app = self.driver.shell.vfpgas[self.vfpga_id].app
-                    self.reconfigurations += 1
-                else:
-                    self.affinity_hits += 1
-                # A recovery may have started while this request was
-                # reconfiguring; wait for the region to be re-coupled.
+                self._wakeup = Event(self.env)
+                yield self._wakeup
+                self._wakeup = None
+                self.wakeups += 1
+            yield from self._pause_gate()
+            while self._queue:
+                request = self._pick()
+                self.dispatches += 1
+                yield from self._serve(request)
+                # A recovery may have paused the loop while this request
+                # ran; honour it before draining the next one.
                 yield from self._pause_gate()
+
+    def _serve(self, request: _Request) -> Generator:
+        """Serve one picked request: reconfigure if needed, run the body,
+        deliver the result/failure to the submitter."""
+        if self._slots is not None and request.holds_slot:
+            self._slots.put(1)
+            request.holds_slot = False
+        self._running = request
+        self.queue_wait.observe(self.env.now - request.submitted_at)
+        try:
+            if request.kernel != self.loaded:
+                registration = self._kernels[request.kernel]
                 try:
-                    self._running_proc = self.env.process(
-                        request.body(self.loaded_app)
+                    yield self.env.process(
+                        self.driver.reconfigure_app(
+                            registration.bitstream,
+                            self.vfpga_id,
+                            registration.factory(),
+                            cached=self.cached_bitstreams,
+                        )
                     )
-                    result = yield self._running_proc
-                except Interrupt as intr:
-                    if self._paused and isinstance(
-                        intr.cause, (RecoveredError, NodeDownError)
-                    ):
-                        # Recovery (or a node crash) aborted the body; park
-                        # the request for the replay/reject decision at
-                        # resume time.
-                        self._aborted = request
-                    else:
-                        request.done.fail(intr)
-                except (RecoveredError, NodeDownError) as exc:
-                    # The body saw its own completion fail before the
-                    # quiesce interrupt landed; same disposition.
-                    if self._paused:
-                        self._aborted = request
-                    else:
-                        request.done.fail(exc)
-                except Exception as exc:  # surface failures to the submitter
+                except Exception as exc:
+                    # A reconfiguration that exhausted the driver's
+                    # retries fails only this request; the loop keeps
+                    # serving (the region still holds the last-good
+                    # kernel, if any).
+                    self.reconfig_failures += 1
                     request.done.fail(exc)
+                    return
+                self.loaded = request.kernel
+                self.loaded_app = self.driver.shell.vfpgas[self.vfpga_id].app
+                self.reconfigurations += 1
+            else:
+                self.affinity_hits += 1
+            # A recovery may have started while this request was
+            # reconfiguring; wait for the region to be re-coupled.
+            yield from self._pause_gate()
+            try:
+                self._running_proc = self.env.process(
+                    request.body(self.loaded_app)
+                )
+                result = yield self._running_proc
+            except Interrupt as intr:
+                if self._paused and isinstance(
+                    intr.cause, (RecoveredError, NodeDownError)
+                ):
+                    # Recovery (or a node crash) aborted the body; park
+                    # the request for the replay/reject decision at
+                    # resume time.
+                    self._aborted = request
                 else:
-                    self.requests_served += 1
-                    request.done.succeed(result)
-            finally:
-                self._running = None
-                self._running_proc = None
+                    request.done.fail(intr)
+            except (RecoveredError, NodeDownError) as exc:
+                # The body saw its own completion fail before the
+                # quiesce interrupt landed; same disposition.
+                if self._paused:
+                    self._aborted = request
+                else:
+                    request.done.fail(exc)
+            except Exception as exc:  # surface failures to the submitter
+                request.done.fail(exc)
+            else:
+                self.requests_served += 1
+                request.done.succeed(result)
+        finally:
+            self._running = None
+            self._running_proc = None
 
     # ------------------------------------------------------------- recovery
 
@@ -329,7 +370,7 @@ class AppScheduler:
         elif aborted is not None:
             if self._kernels[aborted.kernel].idempotent:
                 self._queue.insert(0, aborted)
-                self._wakeup.put(object())
+                self._notify()
                 self.replayed += 1
             else:
                 self.replay_rejected += 1
@@ -360,6 +401,8 @@ class AppScheduler:
         registry.counter("scheduler.queue_full_stalls").inc(self.queue_full_stalls)
         registry.counter("scheduler.replayed").inc(self.replayed)
         registry.counter("scheduler.replay_rejected").inc(self.replay_rejected)
+        registry.counter("scheduler.wakeups").inc(self.wakeups)
+        registry.counter("scheduler.dispatches").inc(self.dispatches)
         depth = registry.gauge("scheduler.queue_depth")
         depth.add(len(self._queue))
         depth.high_water = max(depth.high_water, self.queue_depth_high_water)

@@ -46,6 +46,16 @@ class Packetizer:
         self.packet_bytes = packet_bytes
 
     def split(self, descriptor: Descriptor) -> Iterator[Packet]:
+        if 0 < descriptor.length <= self.packet_bytes:
+            # Single-packet fast path: most control-plane transfers fit in
+            # one packet, so skip the offset loop entirely.
+            yield Packet(
+                descriptor=descriptor,
+                vaddr=descriptor.vaddr,
+                length=descriptor.length,
+                last=True,
+            )
+            return
         offset = 0
         while offset < descriptor.length:
             take = min(self.packet_bytes, descriptor.length - offset)

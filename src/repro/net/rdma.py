@@ -358,7 +358,9 @@ class RdmaStack:
         return [min(mtu, length - off) for off in range(0, length, mtu)]
 
     def _send_packet(self, packet: RocePacket) -> Generator:
-        yield self.env.timeout(self.config.per_packet_processing_ns)
+        # Pooled sleep: per-packet processing is the hottest delay in the
+        # NIC and never composed, so it can reuse a recycled relay event.
+        yield self.env.sleep(self.config.per_packet_processing_ns)
         yield from self.cmac.tx(packet)
         self.stats["tx_packets"] += 1
 
@@ -601,7 +603,7 @@ class RdmaStack:
             if not isinstance(packet, RocePacket):
                 continue  # another protocol on the shared fabric
             self.stats["rx_packets"] += 1
-            yield self.env.timeout(self.config.per_packet_processing_ns)
+            yield self.env.sleep(self.config.per_packet_processing_ns)
             if self.halted:
                 continue  # a crashed node processes nothing
             qpn = packet.bth.dest_qp
@@ -857,7 +859,7 @@ class RdmaStack:
                 yield self._timer_parked
                 self._timer_parked = None
                 continue
-            yield self.env.timeout(timeout)
+            yield self.env.sleep(timeout)
             outstanding = any(self._retransmit[q] for q in self._retransmit)
             if not outstanding:
                 continue

@@ -8,12 +8,27 @@ advances a priority queue of scheduled events.
 
 Simulated time is a float in **nanoseconds**.  All hardware models in
 ``repro`` agree on this unit; see :mod:`repro.sim.clock` for cycle helpers.
+
+Fast-path design (pinned by ``tests/test_engine_conformance.py``):
+
+* Events **are** their own heap entries: the ``(time, priority, seq)``
+  schedule key lives in ``__slots__`` on the event and ``__lt__`` compares
+  it, so scheduling allocates no key tuples and ``step()`` unpacks none.
+* Internal one-shot relays (process kick-off, resume-after-processed,
+  interrupts, :meth:`Environment.sleep`) come from a per-environment
+  **free list** and are recycled right after dispatch.  Only events that
+  are never exposed to user code are pooled; anything a process can hold
+  a reference to (timeouts it composed into conditions, completion
+  events, processes) is never recycled.
+* :meth:`Environment.run` drains through :meth:`Environment.run_batch`,
+  which inlines the step body and checks ``until`` conditions per batch
+  entry only where semantics require it.
 """
 
 from __future__ import annotations
 
-import heapq
 import itertools
+from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
 __all__ = [
@@ -64,6 +79,10 @@ class Interrupt(Exception):
 URGENT = 0
 NORMAL = 1
 
+#: Free-list ceiling: enough to cover the relay burst of a deep process
+#: tree without pinning unbounded memory on pathological workloads.
+_POOL_LIMIT = 128
+
 
 class Event:
     """A condition that may happen at some point in simulated time.
@@ -71,7 +90,26 @@ class Event:
     Events start *pending*; once :meth:`succeed` or :meth:`fail` is called
     they become *triggered* and are scheduled for processing, after which all
     registered callbacks run and the event is *processed*.
+
+    Lifecycle states (see DESIGN.md "Event engine internals"):
+    pending (``_ok is None``, callbacks is a list) → triggered (``_ok``
+    set; for a :class:`Timeout`, only once its delay elapsed) →
+    processed (callbacks is ``None``; value/exception delivered).
     """
+
+    __slots__ = (
+        "env",
+        "callbacks",
+        "_value",
+        "_ok",
+        "_scheduled",
+        "_abandoned",
+        "_defused",
+        "_recycle",
+        "_time",
+        "_prio",
+        "_seq",
+    )
 
     def __init__(self, env: "Environment"):
         self.env = env
@@ -82,6 +120,24 @@ class Event:
         #: Set when the only waiter was interrupted away; resources skip
         #: abandoned waiters rather than handing them items/grants.
         self._abandoned = False
+        #: A failure whose exception was delivered somewhere (thrown into
+        #: a process, or deliberately discarded) must not also escape
+        #: ``step()``.
+        self._defused = False
+        #: Internal one-shot relays return to the environment free list
+        #: right after dispatch; never set on user-visible events.
+        self._recycle = False
+
+    # The heap holds events directly: the schedule key lives in slots
+    # (written by ``Environment._schedule``) and ``heapq`` orders via
+    # ``__lt__`` — no per-entry key tuple is ever allocated.
+
+    def __lt__(self, other: "Event") -> bool:
+        if self._time != other._time:
+            return self._time < other._time
+        if self._prio != other._prio:
+            return self._prio < other._prio
+        return self._seq < other._seq
 
     @property
     def triggered(self) -> bool:
@@ -126,16 +182,29 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that triggers after a fixed delay."""
+    """An event that triggers after a fixed delay.
+
+    A timeout is scheduled at construction but — unlike the historical
+    behaviour of presetting ``_ok`` — it does not report ``triggered``
+    until its delay actually elapsed: the engine flips it to triggered
+    at dispatch time (the ``_ok is None`` branch in the step loop).
+    """
+
+    __slots__ = ("delay",)
 
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
             raise SimulationError(f"negative delay {delay!r}")
         super().__init__(env)
-        self._ok = True
         self._value = value
         self.delay = delay
         env._schedule(self, delay=delay, priority=NORMAL)
+
+    def succeed(self, value: Any = None, priority: int = NORMAL) -> "Event":
+        raise SimulationError("a Timeout triggers by itself when its delay elapses")
+
+    def fail(self, exception: BaseException, priority: int = NORMAL) -> "Event":
+        raise SimulationError("a Timeout triggers by itself when its delay elapses")
 
 
 class Process(Event):
@@ -146,6 +215,8 @@ class Process(Event):
     exception is thrown into it).
     """
 
+    __slots__ = ("_generator", "name", "_target")
+
     def __init__(self, env: "Environment", generator: Generator, name: str = ""):
         super().__init__(env)
         if not hasattr(generator, "send"):
@@ -153,11 +224,8 @@ class Process(Event):
         self._generator = generator
         self.name = name or getattr(generator, "__name__", "process")
         self._target: Optional[Event] = None
-        # Kick off on the next event-loop iteration.
-        init = Event(env)
-        init._ok = True
-        init.callbacks.append(self._resume)
-        env._schedule(init, delay=0.0, priority=URGENT)
+        # Kick off on the next event-loop iteration (pooled relay).
+        env._relay(True, None, self._resume, URGENT)
 
     @property
     def is_alive(self) -> bool:
@@ -167,12 +235,9 @@ class Process(Event):
         """Throw :class:`Interrupt` into the process at the current time."""
         if not self.is_alive:
             return
-        event = Event(self.env)
-        event._ok = False
-        event._value = Interrupt(cause)
-        event._defused = True
-        event.callbacks.append(self._resume)
-        self.env._schedule(event, delay=0.0, priority=URGENT)
+        self.env._relay(
+            False, Interrupt(cause), self._resume, URGENT, defused=True
+        )
 
     def _resume(self, event: Event) -> None:
         if not self.is_alive:
@@ -211,17 +276,15 @@ class Process(Event):
         self._target = target
         if target.callbacks is None:
             # Already processed: resume immediately (next loop iteration).
-            relay = Event(self.env)
-            relay._ok = target._ok
-            relay._value = target._value
-            relay.callbacks.append(self._resume)
-            self.env._schedule(relay, delay=0.0, priority=URGENT)
+            self.env._relay(target._ok, target._value, self._resume, URGENT)
         else:
             target.callbacks.append(self._resume)
 
 
 class _Condition(Event):
     """Base for AllOf / AnyOf composite events."""
+
+    __slots__ = ("_events", "_done")
 
     def __init__(self, env: "Environment", events: Iterable[Event]):
         super().__init__(env)
@@ -237,8 +300,8 @@ class _Condition(Event):
                 event.callbacks.append(self._check)
 
     def _collect(self):
-        # Only include events whose callbacks have run (Timeout presets
-        # ``_ok`` at creation, before its scheduled time arrives).
+        # Only processed-and-ok children contribute results (a failed
+        # child's exception travels via fail(), not the result dict).
         return {
             i: e._value
             for i, e in enumerate(self._events)
@@ -251,6 +314,8 @@ class _Condition(Event):
 
 class AllOf(_Condition):
     """Triggers once every child event has triggered successfully."""
+
+    __slots__ = ()
 
     def _check(self, event: Event) -> None:
         if self._ok is not None:
@@ -266,6 +331,8 @@ class AllOf(_Condition):
 class AnyOf(_Condition):
     """Triggers as soon as any child event triggers successfully."""
 
+    __slots__ = ()
+
     def _check(self, event: Event) -> None:
         if self._ok is not None:
             return
@@ -276,13 +343,15 @@ class AnyOf(_Condition):
 
 
 class Environment:
-    """The event loop: a priority queue over (time, priority, seq)."""
+    """The event loop: a heap of events ordered by (time, priority, seq)."""
 
     def __init__(self, initial_time: float = 0.0):
         self.now = float(initial_time)
-        self._queue: List = []
+        self._queue: List[Event] = []
         self._seq = itertools.count()
         self._active = True
+        #: Free list of recyclable internal relay events (see Event).
+        self._relay_pool: List[Event] = []
         #: Telemetry: events dispatched and deepest queue seen.  Plain
         #: ints so the hot loop pays one increment / one compare.
         self.events_processed = 0
@@ -304,11 +373,51 @@ class Environment:
         if self.sanitizer is not None:
             self.sanitizer.on_schedule(self, delay)
         event._scheduled = True
-        heapq.heappush(
-            self._queue, (self.now + delay, priority, next(self._seq), event)
-        )
-        if len(self._queue) > self.queue_high_water:
-            self.queue_high_water = len(self._queue)
+        event._time = self.now + delay
+        event._prio = priority
+        event._seq = next(self._seq)
+        queue = self._queue
+        heappush(queue, event)
+        if len(queue) > self.queue_high_water:
+            self.queue_high_water = len(queue)
+
+    def _relay(
+        self,
+        ok: bool,
+        value: Any,
+        callback: Callable[["Event"], None],
+        priority: int = URGENT,
+        defused: bool = False,
+    ) -> Event:
+        """Schedule a pooled one-shot internal event at the current time.
+
+        The event is pre-triggered with ``(ok, value)``, carries exactly
+        one callback, and returns to the free list right after dispatch —
+        callers must never hand it to user code or keep a reference past
+        the callback.
+        """
+        pool = self._relay_pool
+        event = pool.pop() if pool else Event(self)
+        event._ok = ok
+        event._value = value
+        event._defused = defused
+        event._recycle = True
+        event.callbacks.append(callback)
+        self._schedule(event, 0.0, priority)
+        return event
+
+    def _reclaim(self, event: Event) -> None:
+        """Reset a dispatched relay and return it to the free list."""
+        event.callbacks = []
+        event._value = None
+        event._ok = None
+        event._scheduled = False
+        event._abandoned = False
+        event._defused = False
+        event._recycle = False
+        pool = self._relay_pool
+        if len(pool) < _POOL_LIMIT:
+            pool.append(event)
 
     # -- public factory helpers -----------------------------------------
 
@@ -317,6 +426,25 @@ class Environment:
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         return Timeout(self, delay, value)
+
+    def sleep(self, delay: float) -> Event:
+        """A pooled, recyclable delay for the plain ``yield env.sleep(d)``
+        idiom in hot loops (movers, packetizer feeds, retransmit timers).
+
+        Contract: the caller must yield it immediately from exactly one
+        process and must not store it, compose it into ``AllOf``/``AnyOf``
+        or read it after resuming — the event is recycled the moment its
+        dispatch completes.  Use :meth:`timeout` anywhere those rules
+        cannot be guaranteed.
+        """
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        pool = self._relay_pool
+        event = pool.pop() if pool else Event(self)
+        event._recycle = True
+        # _ok stays None: like a Timeout, it triggers at dispatch.
+        self._schedule(event, delay, NORMAL)
+        return event
 
     def process(self, generator: Generator, name: str = "") -> Process:
         return Process(self, generator, name=name)
@@ -331,22 +459,69 @@ class Environment:
 
     def step(self) -> None:
         """Process the next scheduled event."""
-        if not self._queue:
+        queue = self._queue
+        if not queue:
             raise SimulationError("no more events")
-        when, _prio, _seq, event = heapq.heappop(self._queue)
+        event = heappop(queue)
+        when = event._time
         if self.sanitizer is not None:
             self.sanitizer.on_step(self, when)
         self.now = when
         self.events_processed += 1
+        if event._ok is None:
+            event._ok = True  # a Timeout/sleep triggers as it dispatches
         callbacks, event.callbacks = event.callbacks, None
         if self.profiler is not None:
             self.profiler.run_callbacks(event, callbacks)
         else:
             for callback in callbacks:
                 callback(event)
-        if event._ok is False and not getattr(event, "_defused", False):
+        if event._ok is False and not event._defused:
             # An unhandled failure propagates out of the simulation.
             raise event._value
+        if event._recycle:
+            self._reclaim(event)
+
+    def run_batch(self, max_events: Optional[int] = None) -> int:
+        """Drain up to ``max_events`` events (all, when ``None``).
+
+        This is the engine's bulk fast path: the step body is inlined in
+        one loop with the queue, profiler and sanitizer bound to locals,
+        so a long drain pays no per-event method dispatch and no
+        ``until`` re-checks.  Returns the number of events processed.
+        Semantics are step-for-step identical to calling :meth:`step` in
+        a loop (the conformance suite pins this).
+        """
+        queue = self._queue
+        sanitizer = self.sanitizer
+        profiler = self.profiler
+        budget = max_events if max_events is not None else -1
+        processed = 0
+        while queue and budget != 0:
+            event = heappop(queue)
+            when = event._time
+            if sanitizer is not None:
+                sanitizer.on_step(self, when)
+            self.now = when
+            # Kept per-event (not batched at the end) so callbacks that
+            # read the counter mid-drain — card_report from inside a
+            # process, watchdog fingerprints — never see a stale value.
+            self.events_processed += 1
+            processed += 1
+            budget -= 1
+            if event._ok is None:
+                event._ok = True
+            callbacks, event.callbacks = event.callbacks, None
+            if profiler is not None:
+                profiler.run_callbacks(event, callbacks)
+            else:
+                for callback in callbacks:
+                    callback(event)
+            if event._ok is False and not event._defused:
+                raise event._value
+            if event._recycle:
+                self._reclaim(event)
+        return processed
 
     def run(self, until: Optional[Any] = None) -> Any:
         """Run until the given time, event, or queue exhaustion.
@@ -356,30 +531,32 @@ class Environment:
         return its value).
         """
         if until is None:
-            while self._queue:
-                self.step()
+            self.run_batch()
             return None
         if isinstance(until, Event):
             sentinel = until
+            step = self.step
             while sentinel.callbacks is not None:
                 if not self._queue:
                     raise SimulationError(
                         "simulation ran out of events before the awaited "
                         f"event triggered ({sentinel!r}); likely deadlock"
                     )
-                self.step()
+                step()
             if sentinel._ok is False:
                 raise sentinel._value
             return sentinel._value
         horizon = float(until)
         if horizon < self.now:
             raise SimulationError("cannot run into the past")
-        while self._queue and self._queue[0][0] <= horizon:
-            self.step()
+        queue = self._queue
+        step = self.step
+        while queue and queue[0]._time <= horizon:
+            step()
         self.now = horizon
         return None
 
     @property
     def peek(self) -> float:
         """Time of the next scheduled event, or +inf if none."""
-        return self._queue[0][0] if self._queue else float("inf")
+        return self._queue[0]._time if self._queue else float("inf")

@@ -17,6 +17,8 @@ __all__ = ["Resource", "Store", "Container"]
 class _Request(Event):
     """Pending acquisition of a resource slot; usable as a context token."""
 
+    __slots__ = ("resource",)
+
     def __init__(self, resource: "Resource"):
         super().__init__(resource.env)
         self.resource = resource

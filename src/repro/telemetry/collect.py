@@ -35,6 +35,15 @@ def collect_card_metrics(driver, registry: MetricsRegistry = None) -> MetricsReg
     queue = reg.gauge("sim.event_queue")
     queue.set(len(env._queue))
     queue.high_water = max(queue.high_water, env.queue_high_water)
+    requests_served = sum(s.requests_served for s in driver.schedulers)
+    if requests_served:
+        reg.gauge("sim.events_per_request").set(
+            env.events_processed / requests_served
+        )
+    if env.profiler is not None:
+        # Wall-clock throughput is only knowable while a SimProfiler is
+        # attached; report-only (DET001-waived inside the profiler).
+        reg.gauge("sim.events_per_sec").set(env.profiler.events_per_sec)
 
     # -- pcie: link + XDMA channel groups --------------------------------
     _set_counter(reg, "pcie.h2c_bytes", link.h2c_bytes)

@@ -104,6 +104,18 @@ class SimProfiler:
 
     # --------------------------------------------------------------- results
 
+    @property
+    def events_per_sec(self) -> float:
+        """Engine throughput: dispatched events per host CPU second.
+
+        The engine's headline speed gauge — wall-clock here is report-only
+        (see the DET001 allow-file waiver above) and never feeds back into
+        the simulation.
+        """
+        if self.total_wall_s <= 0.0:
+            return 0.0
+        return self.total_events / self.total_wall_s
+
     def report(self, top: Optional[int] = None) -> List[Dict[str, Any]]:
         """Rows sorted by wall time (the optimisation target), hottest first."""
         components = set(self.events) | set(self.sim_ns)

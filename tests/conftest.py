@@ -23,6 +23,12 @@ from repro.analysis import sanitizer as _sanitizer_mod
 
 settings.register_profile("dev", deadline=None)
 settings.register_profile("ci", deadline=None, derandomize=True, print_blob=True)
+# The engine-conformance CI job explores far more examples than the
+# default suite run: the DES core is the layer every other result sits
+# on, so its property tests get a deeper (still derandomized) budget.
+settings.register_profile(
+    "long", deadline=None, derandomize=True, print_blob=True, max_examples=500
+)
 settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 

@@ -28,7 +28,7 @@ def quick_results(harness):
     return harness.run_suite(quick=True)
 
 
-def test_quick_suite_has_four_valid_workloads(harness, quick_results):
+def test_quick_suite_has_all_valid_workloads(harness, quick_results):
     assert harness.validate_results(quick_results) == []
     names = [wl["name"] for wl in quick_results["workloads"]]
     assert names == [
@@ -36,10 +36,11 @@ def test_quick_suite_has_four_valid_workloads(harness, quick_results):
         "rdma_msgsize",
         "multitenant_aes",
         "scheduler_churn",
+        "engine_events",
     ]
 
 
-def test_quick_suite_measures_real_work(quick_results):
+def test_quick_suite_measures_real_work(harness, quick_results):
     by_name = {wl["name"]: wl for wl in quick_results["workloads"]}
     assert by_name["hbm_scaling"]["throughput_gbps"] > 0
     assert by_name["rdma_msgsize"]["latency_ns"]["p99"] >= \
@@ -52,6 +53,16 @@ def test_quick_suite_measures_real_work(quick_results):
     # The simulator profiler contributed hot-path rows.
     assert churn["detail"]["profile"]
     assert {"component", "events", "wall_s"} <= set(churn["detail"]["profile"][0])
+    # Edge-triggered loop: the whole burst coalesces into few wakeups,
+    # and the per-request event overhead stays within the asserted bound.
+    assert churn["detail"]["dispatches"] == churn["detail"]["requests"]
+    assert churn["detail"]["wakeups"] <= churn["detail"]["dispatches"]
+    assert 0 < churn["detail"]["events_per_request"] <= \
+        harness.SCHED_EVENTS_PER_REQUEST_BOUND
+    engine = by_name["engine_events"]
+    assert engine["ops_per_s"] > 0
+    assert engine["detail"]["events_per_sec"] > 0
+    assert engine["detail"]["events_processed"] > 0
 
 
 def test_validator_rejects_malformed_results(harness, quick_results):

@@ -256,3 +256,79 @@ def test_peek_reports_next_event_time():
     assert env.peek == float("inf")
     env.timeout(12)
     assert env.peek == 12
+
+
+# -------------------------------------------------- event/timeout lifecycle
+
+
+def test_timeout_not_triggered_at_construction():
+    """A timeout is *scheduled* at construction but must not report
+    ``triggered`` (or ``processed``) until its delay actually elapsed —
+    the historical engine preset ``_ok`` in ``Timeout.__init__``."""
+    env = Environment()
+    t = env.timeout(10)
+    assert not t.triggered
+    assert not t.processed
+    with pytest.raises(SimulationError):
+        t.value
+    with pytest.raises(SimulationError):
+        t.ok
+
+
+def test_timeout_must_not_fire_early():
+    env = Environment()
+    t = env.timeout(10, value="late")
+    env.run(until=9)
+    assert not t.triggered
+    assert not t.processed
+    env.run(until=11)
+    assert t.triggered
+    assert t.processed
+    assert t.ok
+    assert t.value == "late"
+
+
+def test_timeout_rejects_manual_trigger():
+    """Timeouts fire by themselves; user code must not succeed/fail them."""
+    env = Environment()
+    t = env.timeout(5)
+    with pytest.raises(SimulationError):
+        t.succeed()
+    with pytest.raises(SimulationError):
+        t.fail(RuntimeError("no"))
+
+
+def test_event_lifecycle_pending_triggered_processed():
+    from repro.sim import Event
+
+    env = Environment()
+    event = Event(env)
+    assert not event.triggered and not event.processed
+    event.succeed(42)
+    assert event.triggered and not event.processed
+    assert event.value == 42
+    env.run()
+    assert event.triggered and event.processed
+
+
+def test_zero_delay_timeout_triggers_only_after_dispatch():
+    env = Environment()
+    t = env.timeout(0)
+    assert not t.triggered  # scheduled at now, but not yet dispatched
+    env.step()
+    assert t.triggered and t.processed
+
+
+def test_condition_over_pending_timeouts():
+    """AllOf over fresh timeouts must *wait*: with the construction-time
+    ``_ok`` preset bug every branch looked already-triggered."""
+    env = Environment()
+    log = []
+
+    def proc():
+        results = yield AllOf(env, [env.timeout(5, value="a"), env.timeout(9, value="b")])
+        log.append((env.now, sorted(results.values())))
+
+    env.process(proc())
+    env.run()
+    assert log == [(9.0, ["a", "b"])]
