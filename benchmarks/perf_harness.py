@@ -36,12 +36,12 @@ sys.path.insert(
     0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
 )
 
-from repro import Environment, Oper, RdmaSg, SgEntry  # noqa: E402
+from repro import CThread, Environment, LocalSg, Oper, RdmaSg, SgEntry  # noqa: E402
 from repro.api import AppScheduler  # noqa: E402
-from repro.apps import AesEcbApp, HllApp  # noqa: E402
+from repro.apps import AesEcbApp, HllApp, PassThroughApp  # noqa: E402
 from repro.cluster import FpgaCluster  # noqa: E402
 from repro.core import ServiceConfig, Shell, ShellConfig  # noqa: E402
-from repro.driver import Driver  # noqa: E402
+from repro.driver import Driver, RingOp, RingOpcode  # noqa: E402
 from repro.experiments.macrobench import multitenant_ecb_rates  # noqa: E402
 from repro.experiments.microbench import hbm_throughput  # noqa: E402
 from repro.sim import AllOf, LatencyStats  # noqa: E402
@@ -301,12 +301,143 @@ def bench_engine_events(quick: bool) -> Dict[str, Any]:
     )
 
 
+#: Regression bounds asserted here and by ``validate_results``.  The
+#: transfer mix is identical on both paths, so the *total* events ratio
+#: (ring/ioctl) is diluted by the shared data-path work but must still
+#: sit measurably below 1.  The *submit-path* ratio counts only events
+#: attributed to the submitting client process (SimProfiler): per-call
+#: submission resumes the client once per request, batched doorbells
+#: once per drain — this is the ABI cost the ring removes, so the bound
+#: is aggressive.
+RING_EVENTS_RATIO_BOUND = 0.98
+RING_SUBMIT_EVENTS_RATIO_BOUND = 0.5
+
+
+def _run_submit(requests: int, transfer_bytes: int, use_ring: bool, slots: int):
+    """One submit-path pass; returns (env, driver, submit-phase events)."""
+    env = Environment()
+    shell = Shell(env, ShellConfig(num_vfpgas=1))
+    driver = Driver(env, shell)
+    shell.load_app(0, PassThroughApp())
+    thread = CThread(driver, 0, pid=1)
+    payload = bytes(range(256)) * (transfer_bytes // 256)
+    measured = {}
+
+    def submit():
+        src = yield from thread.get_mem(transfer_bytes * requests)
+        dst = yield from thread.get_mem(transfer_bytes * requests)
+        for i in range(requests):
+            thread.write_buffer(src.vaddr + i * transfer_bytes, payload)
+        if use_ring:
+            thread.setup_rings(slots=slots)
+            src_mr = yield from thread.register_mr(
+                src.vaddr, transfer_bytes * requests, writable=False
+            )
+            dst_mr = yield from thread.register_mr(
+                dst.vaddr, transfer_bytes * requests
+            )
+        profiler = SimProfiler().attach(env)
+        events_before = env.events_processed
+        started_at = env.now
+        if use_ring:
+            ops = [
+                RingOp(
+                    opcode=RingOpcode.TRANSFER,
+                    mr_key=src_mr.key,
+                    offset=i * transfer_bytes,
+                    length=transfer_bytes,
+                    dst_mr_key=dst_mr.key,
+                    dst_offset=i * transfer_bytes,
+                )
+                for i in range(requests)
+            ]
+            entries = yield from thread.post_many(ops)
+            assert len(entries) == requests, (
+                f"ring batch lost completions: {len(entries)}/{requests}"
+            )
+        else:
+            for i in range(requests):
+                sg = SgEntry(local=LocalSg(
+                    src_addr=src.vaddr + i * transfer_bytes,
+                    src_len=transfer_bytes,
+                    dst_addr=dst.vaddr + i * transfer_bytes,
+                    dst_len=transfer_bytes,
+                ))
+                yield from thread.invoke(Oper.LOCAL_TRANSFER, sg)
+        measured["events"] = env.events_processed - events_before
+        measured["sim_ns"] = env.now - started_at
+        profiler.detach()
+        measured["client_events"] = profiler.events.get("submit", 0)
+        out = thread.read_buffer(dst.vaddr + (requests - 1) * transfer_bytes,
+                                 transfer_bytes)
+        assert out == payload, "submit path corrupted data"
+
+    env.run(env.process(submit(), name="submit"))
+    return env, driver, measured
+
+
+def bench_ring_submit(quick: bool) -> Dict[str, Any]:
+    """Batched doorbell submission vs the per-call ioctl (same transfers)."""
+    requests = 32
+    transfer_bytes = 2048
+    slots = 16  # < requests, so the ring must stall and re-doorbell once
+    t0 = time.perf_counter()
+    _, _, ioctl = _run_submit(requests, transfer_bytes, use_ring=False, slots=slots)
+    env, driver, ring = _run_submit(requests, transfer_bytes, use_ring=True, slots=slots)
+    wall = time.perf_counter() - t0
+    ioctl_epr = ioctl["events"] / requests
+    ring_epr = ring["events"] / requests
+    ratio = ring_epr / ioctl_epr if ioctl_epr else 1.0
+    assert ratio <= RING_EVENTS_RATIO_BOUND, (
+        f"ring submit must beat the per-call ioctl: {ring_epr:.2f} vs "
+        f"{ioctl_epr:.2f} events/request (ratio {ratio:.3f}, bound "
+        f"{RING_EVENTS_RATIO_BOUND})"
+    )
+    submit_ratio = (
+        ring["client_events"] / ioctl["client_events"]
+        if ioctl["client_events"] else 1.0
+    )
+    assert submit_ratio <= RING_SUBMIT_EVENTS_RATIO_BOUND, (
+        f"batched doorbells must collapse per-request client wakeups: "
+        f"{ring['client_events']} vs {ioctl['client_events']} submit-path "
+        f"events (ratio {submit_ratio:.3f}, bound "
+        f"{RING_SUBMIT_EVENTS_RATIO_BOUND})"
+    )
+    return _workload(
+        "ring_submit",
+        ops_per_s=requests / (ring["sim_ns"] / 1e9) if ring["sim_ns"] else 0.0,
+        sim_time_ns=ring["sim_ns"],
+        wall_time_s=wall,
+        detail={
+            "requests": requests,
+            "transfer_bytes": transfer_bytes,
+            "ring_slots": slots,
+            "ioctl_events_per_request": ioctl_epr,
+            "ring_events_per_request": ring_epr,
+            "events_ratio": ratio,
+            "events_ratio_bound": RING_EVENTS_RATIO_BOUND,
+            "ioctl_submit_events": ioctl["client_events"],
+            "ring_submit_events": ring["client_events"],
+            "submit_events_ratio": submit_ratio,
+            "submit_events_ratio_bound": RING_SUBMIT_EVENTS_RATIO_BOUND,
+            "doorbells": driver.ring_doorbells,
+            "descriptors_per_doorbell": (
+                driver.ring_descriptors / driver.ring_doorbells
+                if driver.ring_doorbells else 0.0
+            ),
+            "batches": driver.ring_batches,
+            "full_stalls": driver.ring_full_stalls,
+        },
+    )
+
+
 WORKLOADS = [
     bench_hbm_scaling,
     bench_rdma_msgsize,
     bench_multitenant_aes,
     bench_scheduler_churn,
     bench_engine_events,
+    bench_ring_submit,
 ]
 
 
@@ -387,6 +518,30 @@ def validate_results(results: Dict[str, Any]) -> List[str]:
                 expect(epr <= SCHED_EVENTS_PER_REQUEST_BOUND,
                        f"{where} events_per_request {epr} exceeds the "
                        f"edge-trigger bound {SCHED_EVENTS_PER_REQUEST_BOUND}")
+        if wl.get("name") == "ring_submit" and isinstance(wl.get("detail"), dict):
+            detail = wl["detail"]
+            for key in ("ioctl_events_per_request", "ring_events_per_request"):
+                expect(isinstance(detail.get(key), (int, float))
+                       and detail[key] > 0,
+                       f"{where}.detail.{key} must be a positive number")
+            ratio = detail.get("events_ratio")
+            expect(isinstance(ratio, (int, float)) and ratio > 0,
+                   f"{where}.detail.events_ratio must be a positive number")
+            if isinstance(ratio, (int, float)):
+                expect(ratio <= RING_EVENTS_RATIO_BOUND,
+                       f"{where} ring/ioctl events ratio {ratio} exceeds the "
+                       f"batched-submission bound {RING_EVENTS_RATIO_BOUND}")
+            sratio = detail.get("submit_events_ratio")
+            expect(isinstance(sratio, (int, float)) and sratio > 0,
+                   f"{where}.detail.submit_events_ratio must be a positive number")
+            if isinstance(sratio, (int, float)):
+                expect(sratio <= RING_SUBMIT_EVENTS_RATIO_BOUND,
+                       f"{where} submit-path events ratio {sratio} exceeds "
+                       f"the doorbell bound {RING_SUBMIT_EVENTS_RATIO_BOUND}")
+            dpd = detail.get("descriptors_per_doorbell")
+            expect(isinstance(dpd, (int, float)) and dpd > 1.0,
+                   f"{where}.detail.descriptors_per_doorbell must exceed 1.0 "
+                   f"(batched doorbells)")
         if wl.get("name") == "engine_events" and isinstance(wl.get("detail"), dict):
             eps = wl["detail"].get("events_per_sec")
             expect(isinstance(eps, (int, float)) and eps > 0,

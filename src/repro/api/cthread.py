@@ -13,7 +13,7 @@ methods.
 from __future__ import annotations
 
 import itertools
-from typing import Generator, Optional
+from typing import Generator, Iterable, List, Optional
 
 from ..core.interfaces import (
     CompletionEntry,
@@ -25,6 +25,8 @@ from ..core.interfaces import (
     StreamType,
 )
 from ..driver.driver import Driver, ProcessContext
+from ..driver.errors import RingFullError
+from ..driver.ringbuf import DEFAULT_RING_SLOTS, MemoryRegion, RingOp, RingState
 from ..health.errors import DecoupledError, QuarantinedError
 from ..mem.allocator import Allocation, AllocType
 from ..sim.engine import AnyOf, Environment
@@ -98,6 +100,62 @@ class CThread:
     def get_csr(self, index: int) -> Generator:
         yield self.env.timeout(CSR_READ_NS)
         return self._vfpga.csr_read(index)
+
+    # ------------------------------------------------------- rings + MRs
+
+    def setup_rings(self, slots: int = DEFAULT_RING_SLOTS) -> RingState:
+        """Arm the batched command/completion rings for this thread."""
+        return self.driver.setup_rings(self.pid, slots)
+
+    def register_mr(
+        self, vaddr: int, length: int, writable: bool = True
+    ) -> Generator:
+        """Register (and TLB-pin) a memory region; returns the MR whose
+        ``key`` ring operations use instead of raw virtual addresses."""
+        mr = yield self.env.process(
+            self.driver.register_mr(self.pid, vaddr, length, writable)
+        )
+        return mr
+
+    def deregister_mr(self, mr: MemoryRegion) -> MemoryRegion:
+        return self.driver.deregister_mr(self.pid, mr.key)
+
+    def post_many(self, ops: Iterable[RingOp]) -> Generator:
+        """Submit a batch of ring operations with doorbell semantics.
+
+        Slots are filled back-to-back (host-memory stores, untimed);
+        each doorbell is **one** CSR write regardless of how many slots
+        it drains, and each drained batch completes with **one** event
+        carrying all its completion entries — this is where the ring
+        path beats ``invoke()``'s per-call ioctl on sim events per
+        request.  A full ring forces an early doorbell for the slots so
+        far (a ``ring.full_stalls`` occurrence), then posting resumes.
+        Returns every completion entry in post order.
+        """
+        batches = []
+        for op in ops:
+            try:
+                self.driver.ring_post(self.pid, op)
+            except RingFullError:
+                batches.append((yield from self._ring_doorbell()))
+                self.driver.ring_post(self.pid, op)
+        batches.append((yield from self._ring_doorbell()))
+        entries: List[CompletionEntry] = []
+        for batch in batches:
+            entries.extend((yield batch))
+        return entries
+
+    def _ring_doorbell(self) -> Generator:
+        """One doorbell MMIO write; re-rings if the write was dropped."""
+        while True:
+            yield self.env.timeout(CSR_WRITE_NS)
+            batch = self.driver.ring_doorbell(self.pid)
+            if batch is not None:
+                return batch
+            # The ring.doorbell_drop fault ate the MMIO write: the slots
+            # are still pending, so back off one poll interval and ring
+            # again (what the real driver's doorbell timeout does).
+            yield self.env.timeout(POLL_INTERVAL_NS)
 
     # ------------------------------------------------------------ interrupts
 
@@ -273,7 +331,7 @@ class CThread:
         if not proc.triggered:
             # Abort the stuck verb; defuse so the interrupt never
             # propagates out of the simulation as an unhandled failure.
-            proc._defused = True
+            proc.defuse()
             proc.interrupt("invoke timeout")
             return self._timeout_entry(write, wr_id, StreamType.NET)
         return None

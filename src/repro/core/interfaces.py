@@ -59,6 +59,9 @@ class Descriptor:
     dest: int = 0  # which parallel stream (the AXI TID / TDEST)
     wr_id: int = 0
     last: bool = True  # signal completion when done
+    #: Memory-region key the vaddr was resolved from, when the request
+    #: came through the ring path (None for legacy raw-vaddr ioctls).
+    mr_key: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.length <= 0:

@@ -61,7 +61,7 @@ class _RegionResetMixin:
             if proc.is_alive:
                 # Nothing awaits mover workers; defuse so the interrupt
                 # is a clean stop, not an unhandled simulation failure.
-                proc._defused = True
+                proc.defuse()
                 proc.interrupt("region reset")
 
     def restart_region(self, vfpga_id: int) -> int:

@@ -14,6 +14,7 @@ implements the reconfiguration ioctls.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Generator, List, Optional, Tuple
 
@@ -22,6 +23,7 @@ from ..core.interfaces import CompletionEntry, Descriptor, StreamType
 from ..core.reconfig import IcapController, IcapCrcError, ReconfigError
 from ..core.shell import Shell
 from ..core.vfpga import UserApp
+from ..faults.plan import RING_DOORBELL_DROP
 from ..faults.retry import RetryPolicy
 from ..health.errors import DecoupledError, NodeDownError, QuarantinedError
 from ..mem.allocator import Allocation, AllocType, FrameAllocator, VirtualAllocator
@@ -30,26 +32,43 @@ from ..mem.tlb import PAGE_1G, PAGE_2M, PAGE_4K
 from ..pcie.xdma import MsiVector
 from ..sim.engine import AnyOf, Environment, Event
 from ..sim.resources import Store
+from .errors import (
+    DriverError,
+    MrError,
+    RingError,
+    RingFullError,
+    ZeroLengthDescriptorError,
+)
+from .ringbuf import (
+    DEFAULT_RING_SLOTS,
+    CommandRing,
+    MemoryRegion,
+    MrTable,
+    RingOp,
+    RingOpcode,
+    RingState,
+)
 
 __all__ = ["Driver", "ProcessContext", "DriverError"]
 
 #: Cost of the getMem ioctl + mmap per page (host-side bookkeeping).
 ALLOC_LATENCY_PER_PAGE_NS = 800.0
+#: Cost of registering one page of a memory region (MTT entry + pin).
+MR_REGISTER_LATENCY_PER_PAGE_NS = 600.0
 #: Fixed page-fault service overhead (interrupt + driver entry), on top of
 #: the migration transfer time.
 PAGE_FAULT_OVERHEAD_NS = 12_000.0
 #: How long the driver waits for RECONFIG_DONE before falling back to
 #: polling the ICAP status register (lost-interrupt recovery).
 RECONFIG_IRQ_TIMEOUT_NS = 50_000.0
+#: Ring work-request ids live above this base so they can never collide
+#: with the cThread-allocated ids of the legacy ioctl path.
+RING_WR_ID_BASE = 1 << 20
 
 #: Host physical address regions per page size, so frames never collide.
 _HOST_REGION_4K = (0x0000_0000, 8 << 30)
 _HOST_REGION_2M = (8 << 30, 24 << 30)
 _HOST_REGION_1G = (32 << 30, 32 << 30)
-
-
-class DriverError(Exception):
-    """Invalid request at the driver's ioctl surface."""
 
 
 @dataclass
@@ -70,6 +89,13 @@ class ProcessContext:
     #: Registration timestamps of ``pending`` keys; the per-cThread
     #: watchdog ages these to spot one stuck lane on a busy region.
     pending_since: Dict[Tuple[bool, int], float] = field(default_factory=dict)
+    #: The one-slot command ring the legacy per-call ioctl rides on
+    #: (every ``post_descriptor`` is a one-descriptor doorbell).
+    ioctl_ring: Optional[CommandRing] = None
+    #: Batched command/completion rings, armed by ``Driver.setup_rings``.
+    rings: Optional[RingState] = None
+    #: Registered memory regions (the MTT shadow for ring descriptors).
+    mrs: Optional[MrTable] = None
 
     def expect(self, env: Environment, write: bool, wr_id: int):
         """Register interest in a completion before posting descriptors."""
@@ -125,6 +151,15 @@ class Driver:
         self.reconfig_retries = 0
         self.irq_timeouts = 0
         self.invoke_timeouts = 0
+        # Ring-ABI counters (read by repro.telemetry.collect as ring.*).
+        self.ring_doorbells = 0
+        self.ring_doorbells_lost = 0
+        self.ring_descriptors = 0
+        self.ring_batches = 0
+        self.ring_full_stalls = 0
+        self.mrs_registered = 0
+        self.mrs_deregistered = 0
+        self._ring_wr_ids = itertools.count(RING_WR_ID_BASE)
         #: AppSchedulers driving this card's regions; they register
         #: themselves so card_report() can harvest their telemetry.
         self.schedulers: List = []
@@ -204,6 +239,10 @@ class Driver:
             ctx = self.processes.get(entry.pid)
             if ctx is None:
                 continue  # completion for an exited process
+            if ctx.rings is not None and ctx.rings.on_completion(write, entry):
+                # A ring batch consumed it; the batch event is the single
+                # writeback for the whole drained doorbell.
+                continue
             waiter = ctx.forget(write, entry.wr_id)
             if waiter is not None:
                 waiter.succeed(entry)
@@ -214,7 +253,13 @@ class Driver:
     def _on_reconfig_done(self, value: int) -> None:
         waiters, self._reconfig_done_waiters = self._reconfig_done_waiters, []
         for event in waiters:
-            event.succeed(value)
+            # A waiter can already be triggered when the MSI-X message
+            # arrives late: its reconfigure timed out, fell back to the
+            # status poll, and a later attempt re-raised the interrupt
+            # while the stale event still sat in the swapped-in list.
+            # succeed() on a triggered event would crash the handler.
+            if not event.triggered:
+                event.succeed(value)
 
     def _on_user_interrupt(self, value: int) -> None:
         vfpga_id = value >> 32
@@ -240,6 +285,8 @@ class Driver:
             completions_rd=Store(self.env),
             completions_wr=Store(self.env),
             interrupts=Store(self.env),
+            ioctl_ring=CommandRing(slots=1),
+            mrs=MrTable(pid),
         )
         self.processes[pid] = ctx
         return ctx
@@ -615,28 +662,252 @@ class Driver:
     # --------------------------------------------------------------- ioctls
 
     def post_descriptor(self, desc: Descriptor, write: bool) -> None:
-        """ioctl surface for software-issued work.
+        """Legacy per-call ioctl: a one-descriptor doorbell.
 
         Enforces process/vFPGA isolation: a pid may only drive the vFPGA
         it opened, so one tenant cannot queue work (or read completions)
-        on another tenant's region.
+        on another tenant's region.  The descriptor rides the process's
+        one-slot :class:`~repro.driver.ringbuf.CommandRing`: every call
+        posts one slot and immediately drains it, so the per-call path
+        shares the ring submit machinery (and its telemetry) while
+        keeping its synchronous semantics.
         """
         ctx = self._ctx(desc.pid)
-        if ctx.vfpga_id != desc.vfpga_id:
+        if desc.length <= 0:
+            # The packetizer emits no packets (and so no last=True, and
+            # so no completion) for an empty descriptor; reject it here
+            # instead of letting the caller hang on a completion that
+            # can never arrive.
+            raise ZeroLengthDescriptorError(
+                f"pid {desc.pid}: descriptor wr_id={desc.wr_id} has "
+                f"length {desc.length}; nothing to transfer"
+            )
+        self._check_submit(ctx, desc.vfpga_id)
+        ctx.ioctl_ring.post((desc, write))
+        self.ring_doorbells += 1
+        for queued, queued_write in ctx.ioctl_ring.drain():
+            self.ring_descriptors += 1
+            self.shell.post_descriptor(queued, queued_write)
+
+    def _check_submit(self, ctx: ProcessContext, vfpga_id: int) -> None:
+        """Shared isolation/health gate for both submit paths."""
+        if ctx.vfpga_id != vfpga_id:
             raise DriverError(
-                f"pid {desc.pid} is bound to vFPGA {ctx.vfpga_id}, "
-                f"not {desc.vfpga_id}"
+                f"pid {ctx.pid} is bound to vFPGA {ctx.vfpga_id}, "
+                f"not {vfpga_id}"
             )
         if self.node_down:
             raise NodeDownError(self.node_index if self.node_index is not None else -1)
-        vfpga = self.shell.vfpgas[desc.vfpga_id]
+        vfpga = self.shell.vfpgas[vfpga_id]
         if vfpga.quarantined:
-            raise QuarantinedError(desc.vfpga_id)
+            raise QuarantinedError(vfpga_id)
         if vfpga.decoupled:
-            raise DecoupledError(desc.vfpga_id)
+            raise DecoupledError(vfpga_id)
         if self.health is not None:
             self.health.notify_activity()
-        self.shell.post_descriptor(desc, write)
+
+    # ------------------------------------------------------ rings + MRs
+
+    def setup_rings(self, pid: int, slots: int = DEFAULT_RING_SLOTS) -> RingState:
+        """Arm the batched command/completion rings for a process.
+
+        Maps the cmdReqQ/cmdRespQ pages; afterwards :meth:`ring_post` /
+        :meth:`ring_doorbell` are live.  Re-arming while slots are posted
+        or batches are in flight is refused — the rings are the ABI, not
+        a resize-anytime buffer.
+        """
+        ctx = self._ctx(pid)
+        if ctx.rings is not None and (
+            ctx.rings.cmd.occupancy or ctx.rings.outstanding
+        ):
+            raise RingError(
+                f"pid {pid}: cannot re-arm rings with work in flight"
+            )
+        ctx.rings = RingState(self.env, slots)
+        return ctx.rings
+
+    def register_mr(
+        self, pid: int, vaddr: int, length: int, writable: bool = True
+    ) -> Generator:
+        """Register a memory region: MTT entry + per-page TLB pinning.
+
+        Walks every page of ``[vaddr, vaddr+length)`` in the process's
+        page table (raising :class:`~repro.mem.mmu.SegmentationFault` on
+        unmapped pages — registration never succeeds partially) and pins
+        the translations in the vFPGA's TLB, then charges the ioctl
+        latency.  Returns the :class:`~repro.driver.ringbuf.MemoryRegion`
+        whose ``key`` ring descriptors use in place of raw vaddrs.
+        """
+        ctx = self._ctx(pid)
+        mr = ctx.mrs.register(vaddr, length, writable)
+        mmu = self.shell.dynamic.mmus[ctx.vfpga_id]
+        page = ctx.page_table.page_size
+        pinned = []
+        start = vaddr - (vaddr % page)
+        try:
+            while start < vaddr + length:
+                entry = ctx.page_table.walk(start)
+                mmu.prefill(
+                    start, entry.paddr_in(entry.location), entry.location
+                )
+                mmu.pin(start)
+                pinned.append(start)
+                start += page
+        except SegmentationFault:
+            for addr in pinned:
+                mmu.unpin(addr)
+            ctx.mrs.deregister(mr.key)
+            raise
+        mr.num_pages = len(pinned)
+        self.mrs_registered += 1
+        yield self.env.timeout(MR_REGISTER_LATENCY_PER_PAGE_NS * len(pinned))
+        return mr
+
+    def deregister_mr(self, pid: int, key: int) -> MemoryRegion:
+        """Drop an MR: unpin its pages and retire the MTT entry (untimed)."""
+        ctx = self._ctx(pid)
+        mr = ctx.mrs.deregister(key)
+        mmu = self.shell.dynamic.mmus.get(ctx.vfpga_id)
+        if mmu is not None:
+            page = ctx.page_table.page_size
+            start = mr.vaddr - (mr.vaddr % page)
+            while start < mr.end:
+                mmu.unpin(start)
+                start += page
+        self.mrs_deregistered += 1
+        return mr
+
+    def _rings(self, ctx: ProcessContext) -> RingState:
+        if ctx.rings is None:
+            raise RingError(
+                f"pid {ctx.pid}: rings not armed; call setup_rings() first"
+            )
+        return ctx.rings
+
+    def ring_post(self, pid: int, op: RingOp) -> int:
+        """Fill the next cmdReqQ slot (a host-memory store — untimed).
+
+        The MR slices are validated *now*, software-side, against the
+        MTT shadow: unknown keys, out-of-bounds slices, writes through
+        read-only regions and empty transfers fail here with typed
+        errors, before the slot exists.  Returns the slot index.  A full
+        ring raises :class:`RingFullError` (counted in
+        ``ring.full_stalls``); the doorbell frees the slots.
+        """
+        ctx = self._ctx(pid)
+        rings = self._rings(ctx)
+        length = op.length
+        dst_length = op.dst_length if op.dst_length is not None else op.length
+        if length <= 0 or (op.opcode is RingOpcode.TRANSFER and dst_length <= 0):
+            raise ZeroLengthDescriptorError(
+                f"pid {pid}: ring {op.opcode.value} op has nothing to "
+                f"transfer (length={length}, dst_length={dst_length})"
+            )
+        src_vaddr = ctx.mrs.resolve(
+            op.mr_key, op.offset, length, write=op.opcode is RingOpcode.WRITE
+        )
+        dst_vaddr = None
+        if op.opcode is RingOpcode.TRANSFER:
+            dst_key = op.dst_mr_key if op.dst_mr_key is not None else op.mr_key
+            dst_vaddr = ctx.mrs.resolve(
+                dst_key, op.dst_offset, dst_length, write=True
+            )
+        try:
+            return rings.cmd.post((op, src_vaddr, dst_vaddr))
+        except RingFullError:
+            self.ring_full_stalls += 1
+            raise
+
+    def ring_doorbell(self, pid: int):
+        """Consume the doorbell MMIO write: batch-drain the cmdReqQ.
+
+        Every slot posted since the last doorbell is fetched and issued
+        to the shell *in this one call* — the caller pays a single CSR
+        write, not one ioctl per descriptor.  Returns the batch's
+        completion :class:`~repro.sim.engine.Event` (value: the
+        completion entries in post order — the batched cmdRespQ
+        writeback), or ``None`` when the ``ring.doorbell_drop`` fault
+        swallowed the MMIO write; the slots then stay pending until
+        software rings again.
+        """
+        ctx = self._ctx(pid)
+        rings = self._rings(ctx)
+        self._check_submit(ctx, ctx.vfpga_id)
+        self.ring_doorbells += 1
+        injector = self.shell.static.xdma.faults
+        if injector is not None and injector.fires(RING_DOORBELL_DROP, pid):
+            self.ring_doorbells_lost += 1
+            return None
+        batch = rings.open_batch()
+        slots = rings.cmd.drain()
+        if not slots:
+            batch.event.succeed([])
+            return batch.event
+        for op, src_vaddr, dst_vaddr in slots:
+            wr_id = next(self._ring_wr_ids)
+            if op.opcode is RingOpcode.READ:
+                rings.gate(batch, (False, wr_id))
+                self.shell.post_descriptor(
+                    self._ring_descriptor(
+                        ctx, src_vaddr, op.length, op.stream, op.dest,
+                        wr_id, op.mr_key,
+                    ),
+                    write=False,
+                )
+            elif op.opcode is RingOpcode.WRITE:
+                rings.gate(batch, (True, wr_id))
+                self.shell.post_descriptor(
+                    self._ring_descriptor(
+                        ctx, src_vaddr, op.length, op.stream, op.dest,
+                        wr_id, op.mr_key,
+                    ),
+                    write=True,
+                )
+            else:  # TRANSFER: read + write through the kernel, one wr_id
+                dst_length = (
+                    op.dst_length if op.dst_length is not None else op.length
+                )
+                dst_key = op.dst_mr_key if op.dst_mr_key is not None else op.mr_key
+                rings.gate(batch, (True, wr_id))
+                rings.absorb(batch, (False, wr_id))
+                self.shell.post_descriptor(
+                    self._ring_descriptor(
+                        ctx, src_vaddr, op.length, op.stream, op.dest,
+                        wr_id, op.mr_key,
+                    ),
+                    write=False,
+                )
+                self.shell.post_descriptor(
+                    self._ring_descriptor(
+                        ctx, dst_vaddr, dst_length, op.dst_stream,
+                        op.dst_dest, wr_id, dst_key,
+                    ),
+                    write=True,
+                )
+        self.ring_descriptors += len(slots)
+        self.ring_batches += 1
+        return batch.event
+
+    def _ring_descriptor(
+        self,
+        ctx: ProcessContext,
+        vaddr: int,
+        length: int,
+        stream: StreamType,
+        dest: int,
+        wr_id: int,
+        mr_key: int,
+    ) -> Descriptor:
+        return Descriptor(
+            vfpga_id=ctx.vfpga_id,
+            pid=ctx.pid,
+            vaddr=vaddr,
+            length=length,
+            stream=stream,
+            dest=dest,
+            wr_id=wr_id,
+            mr_key=mr_key,
+        )
 
     # ------------------------------------------------------ health / recovery
 
@@ -654,11 +925,14 @@ class Driver:
                 continue
             for event in ctx.pending.values():
                 if not event.triggered:
-                    event._defused = True
-                    event.fail(exc)
+                    event.defuse().fail(exc)
                     failed += 1
             ctx.pending.clear()
             ctx.pending_since.clear()
+            if ctx.rings is not None:
+                # Ring batches gate on completions the reset wiped too;
+                # fail each in-flight batch once (its waiters all see exc).
+                failed += ctx.rings.fail_batches(exc)
         return failed
 
     def recover(self, vfpga_id: int, reason: str = "manual") -> Generator:

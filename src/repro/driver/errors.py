@@ -1,0 +1,62 @@
+"""Typed errors raised at the driver's ioctl and ring ABI surfaces.
+
+Kept in their own module so :mod:`repro.driver.driver` and
+:mod:`repro.driver.ringbuf` can both raise them without importing each
+other.  All ring/MR errors derive from :class:`DriverError`, so existing
+``except DriverError`` call sites keep working unchanged.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "DriverError",
+    "ZeroLengthDescriptorError",
+    "RingError",
+    "RingFullError",
+    "MrError",
+    "MrKeyError",
+    "MrBoundsError",
+    "MrAccessError",
+    "MrOverlapError",
+]
+
+
+class DriverError(Exception):
+    """Invalid request at the driver's ioctl surface."""
+
+
+class ZeroLengthDescriptorError(DriverError):
+    """A zero- or negative-length descriptor reached a submit path.
+
+    The packetizer emits no packets for such a descriptor, so no
+    ``last=True`` packet — and therefore no completion — would ever be
+    produced; rejecting at post time turns a silent hang into an error.
+    """
+
+
+class RingError(DriverError):
+    """Invalid operation against a process's command/completion rings."""
+
+
+class RingFullError(RingError):
+    """The command ring has no free slot; ring the doorbell to drain it."""
+
+
+class MrError(DriverError):
+    """Invalid memory-region registration or access."""
+
+
+class MrKeyError(MrError):
+    """A ring descriptor referenced an unregistered (or stale) MR key."""
+
+
+class MrBoundsError(MrError):
+    """An access fell outside its memory region's registered bounds."""
+
+
+class MrAccessError(MrError):
+    """A write targeted a memory region registered read-only."""
+
+
+class MrOverlapError(MrError):
+    """A registration overlapped an existing region of the same process."""

@@ -1,0 +1,316 @@
+"""Ring-buffer command path: cmdReqQ/cmdRespQ descriptor rings (paper §6).
+
+Coyote v2's shell is driven the way modern NICs are: software writes
+work descriptors into fixed-slot rings living in host memory, then rings
+a doorbell CSR; the shell DMA-fetches every new slot in one burst and
+writes completions back in batches (blue-rdma's ``Ringbuf`` /
+``WorkQueueRingbuf`` layering is the reference implementation).  The
+per-call ioctl of :meth:`repro.driver.Driver.post_descriptor` survives on
+top of a one-slot ring, so the ring is the *only* submit path.
+
+The model here keeps the ring mechanics honest but foreshortens one
+thing: slots are recycled when the doorbell drains them, not when their
+completions retire (a real ring frees slots at the consumer index).
+Draining at the doorbell keeps head/tail arithmetic observable while
+letting the completion side live in :class:`CompletionBatch` — the
+batched cmdRespQ writeback that fires **one** event per drained doorbell
+instead of one interrupt per work request.
+
+Ring descriptors never carry raw virtual addresses.  Software first
+registers memory regions (:class:`MrTable`, the MTT analogue): a
+registration walks and *pins* the region's pages in the vFPGA's TLB, and
+every :class:`RingOp` names an ``(mr_key, offset)`` pair that the driver
+validates — unknown keys, out-of-bounds slices and writes through
+read-only regions all fail with typed errors before any hardware sees
+the request.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List, Optional, Tuple
+
+from ..core.interfaces import StreamType
+from ..sim.engine import Environment, Event
+from .errors import (
+    MrError,
+    MrKeyError,
+    MrBoundsError,
+    MrAccessError,
+    MrOverlapError,
+    RingError,
+    RingFullError,
+)
+
+__all__ = [
+    "DEFAULT_RING_SLOTS",
+    "RingOpcode",
+    "RingOp",
+    "MemoryRegion",
+    "MrTable",
+    "CommandRing",
+    "CompletionBatch",
+    "RingState",
+]
+
+#: Default cmdReqQ depth; matches a 4 KB ring page of 64-byte descriptors.
+DEFAULT_RING_SLOTS = 64
+
+
+class RingOpcode(Enum):
+    """What a ring slot asks the shell to do (subset of ``CoyoteOper``)."""
+
+    READ = "read"  # memory -> vFPGA stream
+    WRITE = "write"  # vFPGA stream -> memory
+    TRANSFER = "transfer"  # read + write through the kernel
+
+
+@dataclass
+class RingOp:
+    """One cmdReqQ slot: an operation phrased against registered MRs.
+
+    ``mr_key``/``offset``/``length`` name the source slice for ``READ``
+    and ``TRANSFER`` and the destination slice for ``WRITE``; a
+    ``TRANSFER`` additionally names its destination with the ``dst_*``
+    fields (``dst_length`` defaults to ``length``).
+    """
+
+    opcode: RingOpcode
+    mr_key: int
+    offset: int = 0
+    length: int = 0
+    stream: StreamType = StreamType.HOST
+    dest: int = 0
+    dst_mr_key: Optional[int] = None
+    dst_offset: int = 0
+    dst_length: Optional[int] = None
+    dst_stream: StreamType = StreamType.HOST
+    dst_dest: int = 0
+
+
+@dataclass
+class MemoryRegion:
+    """One MTT entry: a registered, pinned slice of a process's VA space."""
+
+    key: int
+    pid: int
+    vaddr: int
+    length: int
+    writable: bool = True
+    #: Pages pinned in the vFPGA TLB on behalf of this region (filled in
+    #: by the driver once registration completed).
+    num_pages: int = 0
+
+    @property
+    def end(self) -> int:
+        return self.vaddr + self.length
+
+
+class MrTable:
+    """Per-process memory-region table (the driver's MTT shadow).
+
+    Pure bookkeeping — the driver charges registration latency and does
+    the page-table walks/TLB pinning; this class owns key allocation,
+    overlap rejection and the key -> vaddr resolution ring slots rely on.
+    """
+
+    def __init__(self, pid: int):
+        self.pid = pid
+        self._regions: Dict[int, MemoryRegion] = {}
+        self._keys = itertools.count(1)
+
+    def __len__(self) -> int:
+        return len(self._regions)
+
+    def __iter__(self):
+        return iter(self._regions.values())
+
+    def register(self, vaddr: int, length: int, writable: bool = True) -> MemoryRegion:
+        if length <= 0:
+            raise MrError(f"MR length must be positive, got {length}")
+        if vaddr < 0:
+            raise MrError(f"MR vaddr must be non-negative, got {vaddr:#x}")
+        for mr in self._regions.values():
+            if vaddr < mr.end and mr.vaddr < vaddr + length:
+                raise MrOverlapError(
+                    f"[{vaddr:#x}, {vaddr + length:#x}) overlaps MR key "
+                    f"{mr.key} [{mr.vaddr:#x}, {mr.end:#x})"
+                )
+        mr = MemoryRegion(
+            key=next(self._keys),
+            pid=self.pid,
+            vaddr=vaddr,
+            length=length,
+            writable=writable,
+        )
+        self._regions[mr.key] = mr
+        return mr
+
+    def lookup(self, key: int) -> MemoryRegion:
+        mr = self._regions.get(key)
+        if mr is None:
+            raise MrKeyError(f"pid {self.pid}: no MR with key {key}")
+        return mr
+
+    def resolve(self, key: int, offset: int, length: int, write: bool) -> int:
+        """Validate an ``(mr_key, offset, length)`` slice; return its vaddr."""
+        mr = self.lookup(key)
+        if offset < 0 or offset + length > mr.length:
+            raise MrBoundsError(
+                f"MR key {key}: slice [{offset}, {offset + length}) outside "
+                f"region of {mr.length} bytes"
+            )
+        if write and not mr.writable:
+            raise MrAccessError(f"MR key {key} is registered read-only")
+        return mr.vaddr + offset
+
+    def deregister(self, key: int) -> MemoryRegion:
+        mr = self._regions.pop(key, None)
+        if mr is None:
+            raise MrKeyError(f"pid {self.pid}: no MR with key {key}")
+        return mr
+
+
+class CommandRing:
+    """A fixed-slot cmdReqQ with head/tail CSR semantics.
+
+    ``tail`` is the software producer index, ``head`` the hardware
+    consumer index; both increase monotonically, so ``tail - head`` is
+    the occupancy.  :meth:`post` fills the next slot (raising
+    :class:`RingFullError` when no slot is free) and :meth:`drain` is
+    the doorbell's consumer side: it hands back every posted slot and
+    advances ``head`` to ``tail`` in one step.
+    """
+
+    def __init__(self, slots: int = DEFAULT_RING_SLOTS):
+        if slots <= 0:
+            raise RingError(f"ring needs at least one slot, got {slots}")
+        self.slots = slots
+        self.head = 0
+        self.tail = 0
+        self._slots: deque = deque()
+        self.high_water = 0
+
+    @property
+    def occupancy(self) -> int:
+        return self.tail - self.head
+
+    @property
+    def free(self) -> int:
+        return self.slots - self.occupancy
+
+    def post(self, entry) -> int:
+        """Fill the next free slot; returns the slot's absolute index."""
+        if self.occupancy >= self.slots:
+            raise RingFullError(
+                f"ring full: {self.slots} slots posted since the last doorbell"
+            )
+        index = self.tail
+        self._slots.append(entry)
+        self.tail += 1
+        self.high_water = max(self.high_water, self.occupancy)
+        return index
+
+    def drain(self) -> List:
+        """Doorbell consumer side: take every new slot, advance head."""
+        batch = list(self._slots)
+        self._slots.clear()
+        self.head = self.tail
+        return batch
+
+
+class CompletionBatch:
+    """The cmdRespQ writeback for one drained doorbell.
+
+    Each work request the drain produced registers a *gate* key; the
+    batch's event fires exactly once — when the last gate completes —
+    with the list of :class:`~repro.core.interfaces.CompletionEntry`
+    values in gate-registration order.  That single event is the "one
+    interrupt or poll per drain" of the ring ABI.  ``TRANSFER`` slots
+    also register an *absorb* key for their read half: that completion
+    is consumed silently instead of leaking into the legacy per-process
+    completion stores.
+    """
+
+    def __init__(self, event: Event):
+        self.event = event
+        self._order: List[Tuple[bool, int]] = []
+        self._entries: Dict[Tuple[bool, int], object] = {}
+        self._expected = 0
+
+    def expect(self, key: Tuple[bool, int]) -> None:
+        self._order.append(key)
+        self._expected += 1
+
+    def collect(self, key: Tuple[bool, int], entry) -> bool:
+        """Record one gate completion; True once the batch is complete."""
+        self._entries[key] = entry
+        return len(self._entries) >= self._expected
+
+    def results(self) -> List:
+        return [self._entries[key] for key in self._order]
+
+    @property
+    def outstanding(self) -> int:
+        return self._expected - len(self._entries)
+
+
+class RingState:
+    """One process's command ring plus its in-flight completion batches."""
+
+    def __init__(self, env: Environment, slots: int = DEFAULT_RING_SLOTS):
+        self.env = env
+        self.cmd = CommandRing(slots)
+        self._gates: Dict[Tuple[bool, int], CompletionBatch] = {}
+        self._absorbed: Dict[Tuple[bool, int], CompletionBatch] = {}
+        self.batches_opened = 0
+        self.batches_completed = 0
+
+    def open_batch(self) -> CompletionBatch:
+        self.batches_opened += 1
+        return CompletionBatch(Event(self.env))
+
+    def gate(self, batch: CompletionBatch, key: Tuple[bool, int]) -> None:
+        batch.expect(key)
+        self._gates[key] = batch
+
+    def absorb(self, batch: CompletionBatch, key: Tuple[bool, int]) -> None:
+        self._absorbed[key] = batch
+
+    @property
+    def outstanding(self) -> int:
+        return len(self._gates)
+
+    def on_completion(self, write: bool, entry) -> bool:
+        """Route one hardware completion; True if the ring consumed it."""
+        key = (write, entry.wr_id)
+        if self._absorbed.pop(key, None) is not None:
+            return True
+        batch = self._gates.pop(key, None)
+        if batch is None:
+            return False
+        if batch.collect(key, entry):
+            self.batches_completed += 1
+            batch.event.succeed(batch.results())
+        return True
+
+    def fail_batches(self, exc: Exception) -> int:
+        """Fail every in-flight batch (region recovery / teardown).
+
+        Returns the number of *work requests* that will never complete,
+        mirroring :meth:`repro.driver.Driver.fail_pending` accounting.
+        """
+        failed = len(self._gates)
+        seen: List[CompletionBatch] = []
+        for batch in self._gates.values():
+            if any(batch is b for b in seen):
+                continue
+            seen.append(batch)
+            if not batch.event.triggered:
+                batch.event.defuse().fail(exc)
+        self._gates.clear()
+        self._absorbed.clear()
+        return failed

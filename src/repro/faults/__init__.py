@@ -33,6 +33,7 @@ from .plan import (
     NET_REORDER,
     NODE_CRASH,
     PCIE_REPLAY,
+    RING_DOORBELL_DROP,
     FaultPlan,
     FaultRule,
 )
@@ -60,4 +61,5 @@ __all__ = [
     "NODE_CRASH",
     "LINK_FLAP",
     "NET_PARTITION",
+    "RING_DOORBELL_DROP",
 ]

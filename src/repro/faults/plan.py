@@ -24,6 +24,7 @@ site                models
 ``hbm.ecc_double``  detected-uncorrectable double-bit ECC events
 ``icap.crc``        CRC mismatch while streaming a partial bitstream
 ``driver.msix``     an MSI-X interrupt message lost in flight
+``ring.doorbell_drop``  a command-ring doorbell MMIO write lost in flight
 ``app.hang``        user logic wedges: a lane stops making forward progress
 ``app.wedge_credit``  user logic leaks a datapath credit per fire
 ``node.crash``      a whole node dies: port killed, every QP flushed
@@ -68,6 +69,7 @@ __all__ = [
     "HBM_ECC_DOUBLE",
     "ICAP_CRC",
     "MSIX_LOSS",
+    "RING_DOORBELL_DROP",
     "APP_HANG",
     "APP_WEDGE_CREDIT",
     "NODE_CRASH",
@@ -84,6 +86,7 @@ HBM_ECC_SINGLE = "hbm.ecc_single"
 HBM_ECC_DOUBLE = "hbm.ecc_double"
 ICAP_CRC = "icap.crc"
 MSIX_LOSS = "driver.msix"
+RING_DOORBELL_DROP = "ring.doorbell_drop"
 APP_HANG = "app.hang"
 APP_WEDGE_CREDIT = "app.wedge_credit"
 NODE_CRASH = "node.crash"
@@ -120,6 +123,10 @@ FAULT_SITE_DOCS = {
     ),
     ICAP_CRC: ("core.reconfig.Icap", "programming aborts with `IcapCrcError`"),
     MSIX_LOSS: ("pcie.xdma.Xdma", "MSI-X interrupt lost; handlers never run"),
+    RING_DOORBELL_DROP: (
+        "driver.driver.Driver",
+        "doorbell MMIO write lost: posted ring slots stay pending until software re-rings",
+    ),
     APP_HANG: (
         "core.vfpga.VFpga",
         "user logic wedges: a consuming lane parks until recovery wipes the region",

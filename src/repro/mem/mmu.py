@@ -209,6 +209,18 @@ class Mmu:
             )
         )
 
+    def pin(self, vaddr: int) -> bool:
+        """Pin ``vaddr``'s cached translation against capacity eviction.
+
+        Memory-region registration (:meth:`repro.driver.Driver.register_mr`)
+        prefills and then pins every page of the region, so ring-posted
+        work hits the TLB without host walks for the MR's lifetime.
+        """
+        return self.tlb.pin(vaddr)
+
+    def unpin(self, vaddr: int) -> bool:
+        return self.tlb.unpin(vaddr)
+
     def shootdown(self, vaddr: int) -> bool:
         """TLB invalidation (driver-triggered on unmap/migration)."""
         return self.tlb.invalidate(vaddr)

@@ -9,7 +9,7 @@ driver (see :mod:`repro.mem.mmu`).
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from enum import Enum
 from typing import Dict, Optional
 
@@ -35,12 +35,21 @@ class MemLocation(Enum):
 
 @dataclass(frozen=True)
 class TlbEntry:
-    """A cached translation: virtual page -> (physical page, location)."""
+    """A cached translation: virtual page -> (physical page, location).
+
+    ``pinned`` entries back registered memory regions (see
+    :mod:`repro.driver.ringbuf`): capacity eviction passes over them, so
+    ring-posted work never takes a TLB-miss walk on MR pages.  Explicit
+    invalidation (shootdown on unmap/migration) still removes them —
+    pinning protects against *eviction*, not against the driver changing
+    the mapping.
+    """
 
     vpn: int
     ppn: int
     location: MemLocation
     writable: bool = True
+    pinned: bool = False
 
 
 @dataclass(frozen=True)
@@ -84,6 +93,7 @@ class Tlb:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.pinned_evictions = 0
 
     def _set_for(self, vpn: int) -> "OrderedDict[int, TlbEntry]":
         return self._sets[vpn % self.config.num_sets]
@@ -106,15 +116,52 @@ class Tlb:
         return entry
 
     def insert(self, entry: TlbEntry) -> Optional[TlbEntry]:
-        """Insert a translation; returns the evicted entry, if any."""
+        """Insert a translation; returns the evicted entry, if any.
+
+        The victim is the LRU *unpinned* entry of the set; only when the
+        whole set is pinned does the LRU pinned entry go (counted in
+        ``pinned_evictions`` — an over-registered set, worth surfacing).
+        Re-inserting a pinned vpn (e.g. a walk refreshing the
+        translation) keeps the pin.
+        """
         entries = self._set_for(entry.vpn)
+        existing = entries.get(entry.vpn)
+        if existing is not None and existing.pinned and not entry.pinned:
+            entry = replace(entry, pinned=True)
         evicted = None
-        if entry.vpn not in entries and len(entries) >= self.config.associativity:
-            _, evicted = entries.popitem(last=False)
+        if existing is None and len(entries) >= self.config.associativity:
+            victim_vpn = next(
+                (vpn for vpn, e in entries.items() if not e.pinned), None
+            )
+            if victim_vpn is None:
+                victim_vpn = next(iter(entries))  # all pinned: LRU pinned goes
+                self.pinned_evictions += 1
+            evicted = entries.pop(victim_vpn)
             self.evictions += 1
         entries[entry.vpn] = entry
         entries.move_to_end(entry.vpn)
         return evicted
+
+    def pin(self, vaddr: int) -> bool:
+        """Pin the entry caching ``vaddr``; False if none is resident."""
+        vpn = self.vpn_of(vaddr)
+        entries = self._set_for(vpn)
+        entry = entries.get(vpn)
+        if entry is None:
+            return False
+        if not entry.pinned:
+            entries[vpn] = replace(entry, pinned=True)
+        return True
+
+    def unpin(self, vaddr: int) -> bool:
+        vpn = self.vpn_of(vaddr)
+        entries = self._set_for(vpn)
+        entry = entries.get(vpn)
+        if entry is None:
+            return False
+        if entry.pinned:
+            entries[vpn] = replace(entry, pinned=False)
+        return True
 
     def invalidate(self, vaddr: int) -> bool:
         vpn = self.vpn_of(vaddr)
@@ -130,6 +177,10 @@ class Tlb:
     @property
     def occupancy(self) -> int:
         return sum(len(s) for s in self._sets)
+
+    @property
+    def pinned_occupancy(self) -> int:
+        return sum(1 for s in self._sets for e in s.values() if e.pinned)
 
     @property
     def hit_rate(self) -> float:

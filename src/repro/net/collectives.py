@@ -181,7 +181,7 @@ class CollectiveGroup:
         # A leg may fail after its awaiting AnyOf already settled (abort
         # and failure racing in the same step); pre-defuse so the orphaned
         # failure cannot crash the simulation loop.
-        proc._defused = True
+        proc.defuse()
         return proc
 
     @staticmethod

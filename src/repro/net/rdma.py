@@ -282,8 +282,7 @@ class RdmaStack:
         # Pre-defuse: a flush may hit an event nobody awaits yet (e.g. a
         # sender still parked on a window credit); an undefused failure
         # would otherwise crash the simulation loop.
-        event._defused = True
-        event.fail(exc)
+        event.defuse().fail(exc)
 
     def reset_qp(self, qpn: int) -> QueuePair:
         """Flush and return the QP to RESET so recovery can re-connect

@@ -177,6 +177,20 @@ class Event:
         self.env._schedule(self, delay=0.0, priority=priority)
         return self
 
+    def defuse(self) -> "Event":
+        """Declare this event's failure handled out-of-band.
+
+        A failed event whose exception was delivered somewhere else (a
+        typed error handed to every waiter during recovery, an interrupt
+        thrown into an abandoned verb) must not *also* escape
+        :meth:`Environment.step` as an unhandled simulation failure.
+        Call this before or after :meth:`fail`/:meth:`Process.interrupt`;
+        it is idempotent and safe on events that end up succeeding.
+        Returns the event so ``event.defuse().fail(exc)`` chains.
+        """
+        self._defused = True
+        return self
+
     # Generator protocol so a bare event can be awaited from process code
     # via ``value = yield event``.
 

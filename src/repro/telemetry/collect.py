@@ -81,6 +81,27 @@ def collect_card_metrics(driver, registry: MetricsRegistry = None) -> MetricsReg
     _set_counter(reg, "mem.page_faults", driver.page_faults)
     _set_counter(reg, "mem.tlb_walks", driver.tlb_walks)
     _set_counter(reg, "mem.migrated_bytes", driver.migrated_bytes)
+    _set_counter(
+        reg,
+        "mem.tlb_pinned_evictions",
+        sum(m.tlb.pinned_evictions for m in shell.dynamic.mmus.values()),
+    )
+    reg.gauge("mem.tlb_pinned").set(
+        sum(m.tlb.pinned_occupancy for m in shell.dynamic.mmus.values())
+    )
+
+    # -- ring: the descriptor-ring command path --------------------------
+    _set_counter(reg, "ring.doorbells", driver.ring_doorbells)
+    _set_counter(reg, "ring.doorbells_lost", driver.ring_doorbells_lost)
+    _set_counter(reg, "ring.descriptors", driver.ring_descriptors)
+    _set_counter(reg, "ring.batches", driver.ring_batches)
+    _set_counter(reg, "ring.full_stalls", driver.ring_full_stalls)
+    _set_counter(reg, "ring.mr_registered", driver.mrs_registered)
+    _set_counter(reg, "ring.mr_deregistered", driver.mrs_deregistered)
+    if driver.ring_doorbells:
+        reg.gauge("ring.descriptors_per_doorbell").set(
+            driver.ring_descriptors / driver.ring_doorbells
+        )
 
     # -- net: RDMA / TCP stacks (joins the PR 1 fault counters) ----------
     rdma = shell.dynamic.rdma

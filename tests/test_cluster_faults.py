@@ -82,7 +82,7 @@ def ping(env, cluster, payload=b"ping", qpn_a=1, qpn_b=2):
 
     send_proc = env.process(sender())
     recv_proc = env.process(receiver())
-    recv_proc._defused = True  # flushed if the scenario kills node 1's QP
+    recv_proc.defuse()  # flushed if the scenario kills node 1's QP
     return send_proc, recv_proc, outcome
 
 

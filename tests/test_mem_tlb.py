@@ -125,3 +125,53 @@ def test_most_recent_insertions_always_resident(vpns, assoc_pow):
                 break
         for vpn in recent:
             assert tlb.lookup(vpn * PAGE_4K) is not None, (set_no, vpn)
+
+
+def test_pinned_entry_skipped_by_eviction():
+    # One set of 2 ways; vpns 0,2,4 all map to set 0.
+    tlb = Tlb(TlbConfig(page_size=PAGE_4K, num_entries=2, associativity=2))
+    tlb.insert(make_entry(0))
+    tlb.insert(make_entry(2))
+    assert tlb.pin(0 * PAGE_4K)
+    # vpn 0 is LRU but pinned: the victim must be vpn 2.
+    tlb.insert(make_entry(4))
+    assert tlb.lookup(0 * PAGE_4K) is not None
+    assert tlb.lookup(2 * PAGE_4K) is None
+    assert tlb.pinned_evictions == 0
+    assert tlb.pinned_occupancy == 1
+
+
+def test_fully_pinned_set_force_evicts_and_counts():
+    tlb = Tlb(TlbConfig(page_size=PAGE_4K, num_entries=2, associativity=2))
+    tlb.insert(make_entry(0))
+    tlb.insert(make_entry(2))
+    assert tlb.pin(0 * PAGE_4K) and tlb.pin(2 * PAGE_4K)
+    tlb.insert(make_entry(4))  # whole set pinned: LRU pinned entry goes
+    assert tlb.pinned_evictions == 1
+    assert tlb.lookup(0 * PAGE_4K) is None  # vpn 0 was LRU
+    assert tlb.lookup(2 * PAGE_4K) is not None
+
+
+def test_unpin_restores_evictability():
+    tlb = Tlb(TlbConfig(page_size=PAGE_4K, num_entries=2, associativity=2))
+    tlb.insert(make_entry(0))
+    tlb.insert(make_entry(2))
+    assert tlb.pin(0 * PAGE_4K)
+    assert tlb.unpin(0 * PAGE_4K)
+    assert tlb.pinned_occupancy == 0
+    tlb.insert(make_entry(4))
+    assert tlb.lookup(0 * PAGE_4K) is None  # LRU again once unpinned
+    assert tlb.pinned_evictions == 0
+
+
+def test_reinsert_preserves_pin_and_pin_miss_returns_false():
+    tlb = Tlb(TlbConfig(page_size=PAGE_4K, num_entries=2, associativity=2))
+    assert not tlb.pin(0)  # nothing resident at this vaddr
+    assert not tlb.unpin(0)
+    tlb.insert(make_entry(0, ppn=7))
+    assert tlb.pin(0)
+    # A walk refreshing the translation must not silently unpin it.
+    tlb.insert(make_entry(0, ppn=9))
+    entry = tlb.lookup(0)
+    assert entry.ppn == 9 and entry.pinned
+    assert tlb.pinned_occupancy == 1

@@ -37,6 +37,7 @@ def test_quick_suite_has_all_valid_workloads(harness, quick_results):
         "multitenant_aes",
         "scheduler_churn",
         "engine_events",
+        "ring_submit",
     ]
 
 
@@ -63,6 +64,16 @@ def test_quick_suite_measures_real_work(harness, quick_results):
     assert engine["ops_per_s"] > 0
     assert engine["detail"]["events_per_sec"] > 0
     assert engine["detail"]["events_processed"] > 0
+    ring = by_name["ring_submit"]["detail"]
+    # Batched doorbell submission: fewer total events per request than
+    # the per-call ioctl, collapsed client wakeups, and > 1 descriptor
+    # fetched per doorbell (with one forced full-ring stall).
+    assert 0 < ring["events_ratio"] <= harness.RING_EVENTS_RATIO_BOUND
+    assert 0 < ring["submit_events_ratio"] <= \
+        harness.RING_SUBMIT_EVENTS_RATIO_BOUND
+    assert ring["descriptors_per_doorbell"] > 1.0
+    assert ring["full_stalls"] >= 1
+    assert ring["batches"] == ring["doorbells"]
 
 
 def test_validator_rejects_malformed_results(harness, quick_results):

@@ -213,7 +213,7 @@ def test_qp_error_refunds_window_credits():
         yield from a.send(1, b"y" * 4096)
 
     proc = env.process(sender())
-    proc._defused = True
+    proc.defuse()
     env.run(until=50_000.0)
     assert a._window.level < a.config.max_outstanding  # credits held
     a.qp_error(1, reason="flush")

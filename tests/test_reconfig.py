@@ -291,7 +291,7 @@ def test_icap_crc_fault_invalidates_the_cached_entry():
     _program(env, icap, bs)
     assert icap.is_cached(bs)
     proc = env.process(icap.program(bs, from_host=False))
-    proc._defused = True
+    proc.defuse()
     with pytest.raises(IcapCrcError):
         env.run(proc)
     # The region is undefined: the cached copy must not be trusted.
@@ -300,3 +300,62 @@ def test_icap_crc_fault_invalidates_the_cached_entry():
     _program(env, icap, bs)  # re-programs cold, re-populates
     assert icap.is_cached(bs)
     assert icap.cache_misses == 2
+
+
+def test_lost_msix_polls_and_late_delivery_is_harmless():
+    """Satellite audit of the reconfig waiter lifecycle: a dropped
+    RECONFIG_DONE interrupt falls back to the status poll and *removes*
+    the stale waiter; an MSI-X message that then arrives late (or twice)
+    must be a no-op — including against a waiter that is already
+    triggered — not a crash or a double-fire."""
+    from repro.faults import MSIX_LOSS, FaultInjector, FaultPlan, FaultRule
+    from repro.pcie import MsiVector
+    from repro.sim import Event
+
+    env = Environment()
+    shell = Shell(env, ShellConfig(num_vfpgas=1))
+    driver = Driver(env, shell)
+    plan = FaultPlan(
+        seed=1,
+        rules=[
+            FaultRule(
+                site=MSIX_LOSS,
+                probability=1.0,
+                max_fires=1,
+                match=lambda vector: vector is MsiVector.RECONFIG_DONE,
+            )
+        ],
+    )
+    FaultInjector(plan).arm(shell=shell)
+    flow = BuildFlow("u55c")
+    checkpoint = flow.shell_flow(shell.config.services, ["passthrough"]).checkpoint
+    bitstream = flow.app_flow(checkpoint, ["hll"]).bitstream
+    shell.load_app(0, PassThroughApp())
+
+    def first():
+        yield env.process(driver.reconfigure_app(bitstream, 0, HllApp()))
+
+    env.run(env.process(first()))
+    assert isinstance(shell.vfpgas[0].app, HllApp)  # completed via the poll
+    assert driver.irq_timeouts == 1
+    assert driver._reconfig_done_waiters == []  # no stale waiter left behind
+
+    # The lost interrupt shows up late, and then a duplicate: idempotent.
+    driver._on_reconfig_done(1)
+    driver._on_reconfig_done(1)
+    # Even a stale *triggered* waiter in the list must not crash the
+    # handler (the race the `if not event.triggered` guard closes).
+    stale = Event(env)
+    stale.succeed(0)
+    driver._reconfig_done_waiters.append(stale)
+    driver._on_reconfig_done(1)
+    assert driver._reconfig_done_waiters == []
+    env.run()
+
+    # The plan's one fire is spent: the next PR completes via the
+    # interrupt with no further timeouts.
+    def second():
+        yield env.process(driver.reconfigure_app(bitstream, 0, HllApp(), cached=True))
+
+    env.run(env.process(second()))
+    assert driver.irq_timeouts == 1

@@ -332,3 +332,25 @@ def test_condition_over_pending_timeouts():
     env.process(proc())
     env.run()
     assert log == [(9.0, ["a", "b"])]
+
+
+def test_event_defuse_suppresses_unhandled_failure():
+    """defuse() is the public "failure handled out-of-band" switch: a
+    failed event with no waiter must not crash the run once defused."""
+    from repro.sim import Event
+
+    env = Environment()
+    event = Event(env)
+    assert event.defuse() is event  # chainable: event.defuse().fail(exc)
+    event.fail(RuntimeError("handled elsewhere"))
+    env.run()  # would raise RuntimeError without the defuse
+    assert event.triggered and event.processed
+
+
+def test_undefused_failure_still_propagates():
+    from repro.sim import Event
+
+    env = Environment()
+    Event(env).fail(RuntimeError("nobody listening"))
+    with pytest.raises(RuntimeError, match="nobody listening"):
+        env.run()
