@@ -24,11 +24,13 @@ sys.path.insert(0, "src")
 
 import numpy as np  # noqa: E402
 
-from repro import Environment, Oper, RdmaSg, SgEntry  # noqa: E402
-from repro.apps import PassThroughApp  # noqa: E402
+from repro import CThread, Environment, Oper, RdmaSg, SgEntry  # noqa: E402
+from repro.api import AppScheduler  # noqa: E402
+from repro.apps import AesEcbApp, PassThroughApp  # noqa: E402
 from repro.cluster import FpgaCluster  # noqa: E402
 from repro.core import LocalSg, ServiceConfig  # noqa: E402
 from repro.driver.report import card_report  # noqa: E402
+from repro.driver.ringbuf import RingOp, RingOpcode  # noqa: E402
 from repro.faults import (  # noqa: E402
     APP_HANG,
     LINK_FLAP,
@@ -39,17 +41,27 @@ from repro.faults import (  # noqa: E402
     FaultPlan,
     FaultRule,
 )
+from repro.faults.plan import MIGRATE_TRANSFER_DROP  # noqa: E402
 from repro.health import (  # noqa: E402
+    AdmissionError,
     ClusterHealthConfig,
     ClusterMonitor,
     DecoupledError,
     HealthConfig,
     HealthMonitor,
+    NodeDownError,
     QuarantinedError,
     RecoveredError,
 )
+from repro.mem import PAGE_4K, AllocType, MmuConfig, TlbConfig  # noqa: E402
+from repro.migrate import LiveMigrator, TransferAbortedError  # noqa: E402
 from repro.net import CollectiveAbortError, RdmaConfig  # noqa: E402
 from repro.sim import AllOf  # noqa: E402
+from repro.synth import (  # noqa: E402
+    BuildFlow,
+    LockedShellCheckpoint,
+    modules_for_services,
+)
 
 
 class SoakTimeout(Exception):
@@ -228,6 +240,150 @@ def run_cluster_seed(seed: int) -> dict:
     }
 
 
+#: Per-tenant pause budget for a live migration (stop-and-copy window).
+MIGRATION_PAUSE_BUDGET_NS = 2_000_000.0
+
+
+def run_migration_seed(seed: int) -> dict:
+    """Migration soak: rolling-upgrade a 4-node cluster under live AES
+    traffic with a seeded ``migrate.transfer_drop`` rate.  Invariants:
+    every client request completes exactly once, every raw tenant's
+    memory survives its forced moves byte-for-byte, every completed
+    migration pauses its tenant for less than the stop-and-copy budget,
+    and a transfer abort leaves the tenant live on the source."""
+    env = Environment()
+    cluster = FpgaCluster(
+        env, 4,
+        services=ServiceConfig(
+            en_memory=True, en_rdma=True,
+            mmu=MmuConfig(tlb=TlbConfig(page_size=PAGE_4K)),
+            rdma=RdmaConfig(retransmit_timeout_ns=50_000),
+        ),
+    )
+    FaultInjector(FaultPlan(
+        seed=seed,
+        rules=[
+            FaultRule(site=MIGRATE_TRANSFER_DROP,
+                      probability=(seed % 5) / 25.0),
+        ],
+    )).arm_cluster(cluster)
+    migrator = LiveMigrator(cluster)
+    flow = BuildFlow("u55c")
+    schedulers = []
+    for node in cluster.nodes:
+        checkpoint = LockedShellCheckpoint(
+            "u55c", node.shell.config.services, node.shell.shell_id,
+            sum(m.luts for m in modules_for_services(node.shell.config.services)),
+        )
+        scheduler = AppScheduler(node.driver)
+        scheduler.register(
+            "aes", flow.app_flow(checkpoint, ["aes_ecb"]).bitstream,
+            AesEcbApp, idempotent=True,
+        )
+        schedulers.append(scheduler)
+
+    # Raw tenants exercise the checkpoint path: buffers, an MR and an
+    # undrained ring descriptor that must survive every forced move.
+    tenants = {}
+
+    def seed_tenant(pid, node):
+        thread = CThread(cluster[node].driver, 0, pid=pid)
+        buf = yield from thread.get_mem(2 * PAGE_4K, alloc_type=AllocType.REG)
+        image = bytes((seed + pid + i) % 256 for i in range(2 * PAGE_4K))
+        thread.write_buffer(buf.vaddr, image)
+        thread.setup_rings(8)
+        mr = yield from thread.register_mr(buf.vaddr, 2 * PAGE_4K)
+        cluster[node].driver.ring_post(
+            pid, RingOp(opcode=RingOpcode.READ, mr_key=mr.key, length=PAGE_4K)
+        )
+        tenants[pid] = (buf.vaddr, image)
+
+    for pid, node in ((101, 0), (102, 1), (103, 2)):
+        env.run(env.process(seed_tenant(pid, node)))
+
+    completed = []
+
+    def body(tag):
+        def run(app):
+            yield env.timeout(2_000.0)
+            return tag
+        return run
+
+    def client(cid, count):
+        for i in range(count):
+            tag = f"s{seed}-c{cid}-r{i}"
+            while True:
+                live = [s for s in schedulers if not s.driver.node_down]
+                target = min(
+                    live, key=lambda s: (len(s._queue), s.driver.node_index)
+                )
+                try:
+                    assert (yield from target.submit("aes", body(tag))) == tag
+                    completed.append(tag)
+                    break
+                except (NodeDownError, AdmissionError, QuarantinedError):
+                    yield env.timeout(10_000.0)
+            # Spread requests past the 40 ms upgrade kickoff so drains
+            # and re-programs happen under live load.
+            yield env.timeout(4_000_000.0 + (seed % 7) * 250_000.0)
+
+    outcome = {}
+
+    def admin():
+        yield env.timeout(40_000_000.0)  # let the first PRs land
+        try:
+            outcome["summary"] = yield from cluster.rolling_upgrade(
+                reason=f"soak-{seed}"
+            )
+        except TransferAbortedError as exc:
+            outcome["aborted"] = exc
+
+    clients = [env.process(client(cid, 10)) for cid in range(4)]
+    admin_proc = env.process(admin())
+    env.run(AllOf(env, clients + [admin_proc]))
+    env.run()  # must quiesce: nothing parked, no live migration channels
+
+    # --- invariants -----------------------------------------------------
+    expected = 4 * 10
+    if len(completed) != expected or len(set(completed)) != expected:
+        raise AssertionError(
+            f"seed {seed}: exactly-once violated "
+            f"({len(completed)} done, {len(set(completed))} unique)"
+        )
+    if "aborted" in outcome:
+        # Retry exhaustion mid-upgrade is legal under heavy drop rates,
+        # but it must leave every tenant live and intact somewhere.
+        for pid in tenants:
+            home = cluster.placements.get(pid)
+            if home is None or pid not in cluster[home].driver.processes:
+                raise AssertionError(
+                    f"seed {seed}: tenant {pid} wedged after abort"
+                )
+    else:
+        if [row["node"] for row in outcome["summary"]] != [0, 1, 2, 3]:
+            raise AssertionError(f"seed {seed}: upgrade order wrong")
+        if any(node.shell_version != 1 for node in cluster.nodes):
+            raise AssertionError(f"seed {seed}: node missed its upgrade")
+    for pid, (vaddr, image) in tenants.items():
+        thread = CThread.attach(cluster[cluster.placements[pid]].driver, pid)
+        if thread.read_buffer(vaddr, len(image)) != image:
+            raise AssertionError(f"seed {seed}: tenant {pid} memory corrupted")
+    pauses = [r.pause_ns for r in migrator.records if r.result == "completed"]
+    if pauses and max(pauses) > MIGRATION_PAUSE_BUDGET_NS:
+        raise AssertionError(
+            f"seed {seed}: pause {max(pauses):.0f}ns over budget"
+        )
+    return {
+        "seed": seed,
+        "migrations": migrator.completed,
+        "aborts": migrator.aborted,
+        "drops": migrator.stats["transfer_drops"],
+        "transplants": migrator.queue_transplants,
+        "max_pause": max(pauses, default=0.0),
+        "sim_ns": env.now,
+    }
+
+
 def _soak(name, fn, seeds, timeout, render) -> int:
     failures = 0
     for seed in range(seeds):
@@ -261,20 +417,35 @@ def main(argv=None) -> int:
                         help="wall-clock seconds allowed per seed")
     parser.add_argument("--skip-cluster", action="store_true",
                         help="run only the single-card health scenario")
+    parser.add_argument("--skip-migration", action="store_true",
+                        help="skip the rolling-upgrade migration scenario")
+    parser.add_argument("--only-migration", action="store_true",
+                        help="run only the rolling-upgrade migration scenario")
     args = parser.parse_args(argv)
 
     signal.signal(signal.SIGALRM, _alarm)
-    failures = _soak(
-        "card", run_seed, args.seeds, args.timeout,
-        lambda row: f"card={row['card']:10s} recoveries={row['recoveries']}",
-    )
-    if not args.skip_cluster:
+    failures = 0
+    if not args.only_migration:
         failures += _soak(
-            "cluster", run_cluster_seed, args.seeds, args.timeout,
+            "card", run_seed, args.seeds, args.timeout,
+            lambda row: f"card={row['card']:10s} recoveries={row['recoveries']}",
+        )
+        if not args.skip_cluster:
+            failures += _soak(
+                "cluster", run_cluster_seed, args.seeds, args.timeout,
+                lambda row: (
+                    f"members={row['members']} rounds={row['rounds']} "
+                    f"aborts={row['aborts']} crashes={row['crashes']} "
+                    f"flaps={row['flaps']} parts={row['partitions']}"
+                ),
+            )
+    if not args.skip_migration:
+        failures += _soak(
+            "migration", run_migration_seed, args.seeds, args.timeout,
             lambda row: (
-                f"members={row['members']} rounds={row['rounds']} "
-                f"aborts={row['aborts']} crashes={row['crashes']} "
-                f"flaps={row['flaps']} parts={row['partitions']}"
+                f"migrations={row['migrations']} aborts={row['aborts']} "
+                f"drops={row['drops']} transplants={row['transplants']} "
+                f"max_pause={row['max_pause']:.0f}ns"
             ),
         )
     return 1 if failures else 0

@@ -106,8 +106,9 @@ def main():
     section = health_section(cluster[0].driver)["cluster"]
     print("cluster health events:")
     for event in section["events"]:
+        reason = f"  ({event['reason']})" if event["reason"] else ""
         print(f"  {event['time_ns']/1e3:9.1f} us  {event['kind']}  "
-              f"node {event['node']}")
+              f"node {event['node']}{reason}")
     print(f"lifetime stats: {group.stats}")
 
     monitor.stop()

@@ -1,0 +1,174 @@
+#!/usr/bin/env python3
+"""Rolling upgrade: re-program a 4-node AES cluster under live traffic.
+
+Four simulated FPGA nodes each run an :class:`~repro.api.AppScheduler`
+serving AES-ECB requests.  While six closed-loop clients keep the
+cluster busy, the orchestrator walks the nodes one at a time:
+
+1. ``drain_node`` live-migrates every tenant off the node — pre-copy
+   over RDMA, a short stop-and-copy pause, checkpoint restore on the
+   destination, and an idempotent-replay queue transplant;
+2. the node "reboots" (``crash_node``/``restore_node``) and its shell
+   is re-programmed from the ICAP bitstream cache;
+3. the heartbeat monitor watches it leave and rejoin, and the cluster
+   rebalances tenants back across the fleet.
+
+The output shows the per-migration pause each tenant observed (the only
+time its region was quiesced), the admin audit trail with reasons, and
+the proof that matters: every request submitted during the upgrade
+completed exactly once.
+
+Run:  python examples/rolling_upgrade.py
+"""
+
+from repro import CThread
+from repro.api import AppScheduler
+from repro.apps import AesEcbApp
+from repro.cluster import FpgaCluster
+from repro.core import ServiceConfig
+from repro.health import (
+    AdmissionError,
+    ClusterHealthConfig,
+    ClusterMonitor,
+    NodeDownError,
+    QuarantinedError,
+)
+from repro.mem import PAGE_4K, AllocType, MmuConfig, TlbConfig
+from repro.migrate import LiveMigrator
+from repro.net import RdmaConfig
+from repro.sim import Environment
+from repro.synth import BuildFlow, LockedShellCheckpoint, modules_for_services
+
+NODES = 4
+CLIENTS = 6
+REQUESTS = 15
+
+
+def main():
+    env = Environment()
+    cluster = FpgaCluster(
+        env, NODES,
+        services=ServiceConfig(
+            en_memory=True, en_rdma=True,
+            mmu=MmuConfig(tlb=TlbConfig(page_size=PAGE_4K)),
+            rdma=RdmaConfig(retransmit_timeout_ns=50_000),
+        ),
+    )
+    monitor = ClusterMonitor(cluster, ClusterHealthConfig(interval_ns=50_000.0))
+    migrator = LiveMigrator(cluster)
+
+    flow = BuildFlow("u55c")
+    schedulers = []
+    for node in cluster.nodes:
+        checkpoint = LockedShellCheckpoint(
+            "u55c", node.shell.config.services, node.shell.shell_id,
+            sum(m.luts for m in modules_for_services(node.shell.config.services)),
+        )
+        scheduler = AppScheduler(node.driver)
+        scheduler.register(
+            "aes", flow.app_flow(checkpoint, ["aes_ecb"]).bitstream,
+            AesEcbApp, idempotent=True,
+        )
+        schedulers.append(scheduler)
+
+    # Long-lived tenants with pinned state: two pages of data, a
+    # registered MR and an undrained ring descriptor each.  Their bytes
+    # must survive every forced move of the upgrade, unchanged.
+    tenants = {}
+
+    def seed_tenant(pid, node):
+        from repro.driver.ringbuf import RingOp, RingOpcode
+
+        thread = CThread(cluster[node].driver, 0, pid=pid)
+        buf = yield from thread.get_mem(2 * PAGE_4K, alloc_type=AllocType.REG)
+        image = bytes((pid + i) % 256 for i in range(2 * PAGE_4K))
+        thread.write_buffer(buf.vaddr, image)
+        thread.setup_rings(8)
+        mr = yield from thread.register_mr(buf.vaddr, 2 * PAGE_4K)
+        cluster[node].driver.ring_post(
+            pid, RingOp(opcode=RingOpcode.READ, mr_key=mr.key, length=PAGE_4K)
+        )
+        tenants[pid] = (buf.vaddr, image)
+
+    for pid, node in ((201, 1), (202, 2), (203, 3)):
+        env.run(env.process(seed_tenant(pid, node)))
+
+    completed = []
+
+    def body(tag):
+        def run(app):
+            yield env.timeout(2_000.0)  # AES service time per request
+            return tag
+        return run
+
+    def client(cid):
+        for i in range(REQUESTS):
+            tag = f"c{cid}-r{i}"
+            while True:
+                live = [s for s in schedulers if not s.driver.node_down]
+                target = min(
+                    live, key=lambda s: (len(s._queue), s.driver.node_index)
+                )
+                try:
+                    assert (yield from target.submit("aes", body(tag))) == tag
+                    completed.append(tag)
+                    break
+                except (NodeDownError, AdmissionError, QuarantinedError):
+                    yield env.timeout(10_000.0)  # node went down under us
+            yield env.timeout(5_000.0)
+
+    def admin():
+        # Let the first partial reconfigurations land so every node's
+        # region is warm, then upgrade the fleet one node at a time.
+        yield env.timeout(40_000_000.0)
+        print(f"[{env.now/1e6:7.2f} ms] rolling upgrade starts")
+        summary = yield from cluster.rolling_upgrade(reason="fw-2.1")
+        for row in summary:
+            print(f"[{env.now/1e6:7.2f} ms]   node {row['node']}: "
+                  f"{row['migrated']} tenant(s) moved, "
+                  f"{row['regions']} region(s) re-programmed")
+
+    for cid in range(CLIENTS):
+        env.process(client(cid))
+    env.process(admin())
+    env.run(until=400_000_000.0)
+    monitor.stop()
+    env.run()  # drains: nothing parked, no live channels
+
+    print()
+    print("per-tenant migration pauses (stop-and-copy windows):")
+    for record in migrator.records:
+        print(f"  pid {record.pid}: node {record.src} -> {record.dst}  "
+              f"pause {record.pause_ns/1e3:6.1f} us  ({record.result})")
+
+    print()
+    print("admin audit trail:")
+    for time_ns, kind, node, reason in cluster.admin_log:
+        note = f"  ({reason})" if reason else ""
+        print(f"  {time_ns/1e6:7.2f} ms  {kind:14s}  node {node}{note}")
+
+    print()
+    print("tenant state after the upgrade:")
+    for pid, (vaddr, image) in tenants.items():
+        home = cluster.placements[pid]
+        thread = CThread.attach(cluster[home].driver, pid)
+        intact = thread.read_buffer(vaddr, len(image)) == image
+        assert intact, f"tenant {pid} memory corrupted"
+        print(f"  pid {pid}: lives on node {home}, "
+              f"{len(image)} bytes intact, MR + ring restored")
+
+    print()
+    total = CLIENTS * REQUESTS
+    assert len(completed) == total, f"lost requests: {len(completed)}/{total}"
+    assert len(set(completed)) == total, "duplicated requests"
+    assert all(node.shell_version == 1 for node in cluster.nodes)
+    print(f"exactly-once: {len(completed)}/{total} requests completed, "
+          f"0 lost, 0 duplicated")
+    print(f"queue transplants: {migrator.queue_transplants}, "
+          f"replays on destination: {migrator.replays}")
+    print(f"all {NODES} nodes now at shell_version=1")
+    print("done: simulation drained cleanly")
+
+
+if __name__ == "__main__":
+    main()

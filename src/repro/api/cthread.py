@@ -61,6 +61,25 @@ class CThread:
         self.ctx: ProcessContext = driver.open(pid, vfpga_id)
         self._vfpga = driver.shell.vfpgas[vfpga_id]
 
+    @classmethod
+    def attach(cls, driver: Driver, pid: int) -> "CThread":
+        """Bind a cThread to an *already registered* process context —
+        the reattach after a live migration restored the pid on the
+        destination driver (a fresh construction would re-``open`` and
+        fail with "already registered")."""
+        ctx = driver.processes.get(pid)
+        if ctx is None:
+            raise ValueError(f"pid {pid} not registered with the driver")
+        thread = cls.__new__(cls)
+        thread.driver = driver
+        thread.env = driver.env
+        thread.vfpga_id = ctx.vfpga_id
+        thread.pid = pid
+        thread.stream_dest = 0
+        thread.ctx = ctx
+        thread._vfpga = driver.shell.vfpgas[ctx.vfpga_id]
+        return thread
+
     # ---------------------------------------------------------------- memory
 
     def get_mem(self, length: int, alloc_type: AllocType = AllocType.HPF) -> Generator:
@@ -350,4 +369,12 @@ class CThread:
     # ---------------------------------------------------------------- teardown
 
     def close(self) -> None:
+        """Release the driver context.
+
+        Closing mid-batch is safe: the driver fails every pending
+        completion and in-flight ring batch with a typed
+        :class:`~repro.driver.errors.ProcessClosedError` before tearing
+        the mappings down, so concurrent invokes/post_many callers see an
+        error instead of parking forever.
+        """
         self.driver.close(self.pid)

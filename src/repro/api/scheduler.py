@@ -13,7 +13,7 @@ each request against the loaded kernel.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Generator, List, Optional
+from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
 
 from ..core.bitstream import Bitstream
 from ..core.vfpga import UserApp
@@ -124,6 +124,9 @@ class AppScheduler:
         #: Recovery telemetry: in-flight requests replayed vs. rejected.
         self.replayed = 0
         self.replay_rejected = 0
+        #: Requests handed to another region's scheduler (live migration).
+        self.transplanted_out = 0
+        self.transplanted_in = 0
         #: Region circuit breaker tripped: every submit fails fast.
         self.quarantined = False
         #: Time from submit() to being picked, in ns (telemetry).
@@ -443,6 +446,77 @@ class AppScheduler:
         if self.driver.health is not None:
             self.driver.health.notify_activity()
 
+    def transplant_to(self, dst: "AppScheduler") -> Tuple[int, int, int]:
+        """Hand every queued request — and the recovery-parked in-flight
+        one — to another scheduler, then resume this (now empty) loop.
+
+        The live-migration flip: after the tenant's state restored on the
+        destination, queued submits must replay *there*.  Queued requests
+        re-enter ``dst``'s queue in arrival order without re-acquiring
+        admission slots (they were admitted once already; this scheduler
+        refunds the slots they held).  The in-flight request this
+        scheduler's quiesce aborted replays iff its kernel is registered
+        idempotent on ``dst`` — the same replay-or-reject policy a local
+        recovery applies — and requests naming a kernel ``dst`` does not
+        know fail with a typed :class:`RecoveredError` rather than being
+        dropped.  Submitters keep waiting on the same done events
+        throughout, so the flip is invisible to them.
+
+        Returns ``(moved, replayed, rejected)``.
+        """
+        if dst is self:
+            raise SchedulerError("cannot transplant a scheduler onto itself")
+        aborted, self._aborted = self._aborted, None
+        moved: List[_Request] = []
+        rejected = 0
+        replayed = 0
+        if aborted is not None:
+            registration = dst._kernels.get(aborted.kernel)
+            if registration is not None and registration.idempotent:
+                moved.append(aborted)
+                replayed += 1
+                dst.replayed += 1
+            else:
+                rejected += 1
+                self.replay_rejected += 1
+                if not aborted.done.triggered:
+                    aborted.done.fail(
+                        RecoveredError(self.vfpga_id, "aborted by migration")
+                    )
+        queued, self._queue = self._queue, []
+        for request in queued:
+            if request.kernel in dst._kernels:
+                moved.append(request)
+            else:
+                rejected += 1
+                if not request.done.triggered:
+                    request.done.fail(
+                        RecoveredError(
+                            self.vfpga_id,
+                            f"kernel {request.kernel!r} not registered on "
+                            f"the migration destination",
+                        )
+                    )
+        for request in queued:
+            if self._slots is not None and request.holds_slot:
+                self._slots.put(1)
+            request.holds_slot = False
+        if aborted is not None and self._slots is not None and aborted.holds_slot:
+            self._slots.put(1)
+            aborted.holds_slot = False
+        dst._queue.extend(moved)
+        if len(dst._queue) > dst.queue_depth_high_water:
+            dst.queue_depth_high_water = len(dst._queue)
+        self.transplanted_out += len(moved)
+        dst.transplanted_in += len(moved)
+        dst._notify()
+        # Re-open this loop: its queue is empty, so it parks idle.
+        self._paused = False
+        gate, self._gate = self._gate, None
+        if gate is not None and not gate.triggered:
+            gate.succeed()
+        return len(moved), replayed, rejected
+
     # ------------------------------------------------------------ telemetry
 
     def export_metrics(self, registry: MetricsRegistry) -> None:
@@ -459,6 +533,8 @@ class AppScheduler:
         registry.counter("scheduler.queue_full_stalls").inc(self.queue_full_stalls)
         registry.counter("scheduler.replayed").inc(self.replayed)
         registry.counter("scheduler.replay_rejected").inc(self.replay_rejected)
+        registry.counter("scheduler.transplanted_out").inc(self.transplanted_out)
+        registry.counter("scheduler.transplanted_in").inc(self.transplanted_in)
         registry.counter("scheduler.wakeups").inc(self.wakeups)
         registry.counter("scheduler.dispatches").inc(self.dispatches)
         depth = registry.gauge("scheduler.queue_depth")

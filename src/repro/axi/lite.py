@@ -59,6 +59,15 @@ class RegisterFile:
         self._check(index)
         self._read_hooks[index] = hook
 
+    def snapshot(self) -> Dict[int, int]:
+        """Stored register values, index-sorted (checkpoint capture).
+
+        Read hooks are *live* hardware state, not stored words, so they
+        are deliberately not evaluated here; a restore replays the stored
+        values through :meth:`write` so write hooks rebuild that state.
+        """
+        return {index: self._values[index] for index in sorted(self._values)}
+
 
 class AxiLite:
     """Timed access port to a :class:`RegisterFile`."""

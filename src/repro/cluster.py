@@ -8,7 +8,7 @@ attached to one shared switch, and a driver is bound.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, Generator, List, Optional, Tuple
 
 from .core.dynamic_layer import ServiceConfig
 from .core.shell import Shell, ShellConfig
@@ -36,6 +36,9 @@ class FpgaNode:
     driver: Driver
     #: False while crashed (see :meth:`FpgaCluster.crash_node`).
     alive: bool = True
+    #: Bumped by :meth:`FpgaCluster.rolling_upgrade` each time the node's
+    #: regions are re-programmed during a maintenance pass.
+    shell_version: int = 0
 
 
 class FpgaCluster:
@@ -91,6 +94,18 @@ class FpgaCluster:
         self.collective_groups: List = []
         self.crashes = 0
         self.restores = 0
+        #: Attached :class:`repro.migrate.LiveMigrator`, or ``None``
+        #: (built on demand by :meth:`drain_node` / :meth:`rolling_upgrade`).
+        self.migrator = None
+        #: pid -> node index, flipped atomically by the migrator at the
+        #: RESUME edge of each migration.
+        self.placements: Dict[int, int] = {}
+        self.migrations = 0
+        self.drains = 0
+        self.upgrades = 0
+        #: ``(time_ns, kind, node, reason)`` maintenance audit trail;
+        #: mirrored into the ClusterMonitor event log when one is attached.
+        self.admin_log: List[Tuple[float, str, int, str]] = []
 
     def __len__(self) -> int:
         return len(self.nodes)
@@ -127,8 +142,9 @@ class FpgaCluster:
             node.driver.fail_pending(vfpga.vfpga_id, exc)
         for scheduler in node.driver.schedulers:
             scheduler.quiesce(exc)
+        self.note_admin_event("node_crashed", index, reason)
 
-    def restore_node(self, index: int) -> None:
+    def restore_node(self, index: int, reason: str = "restore") -> None:
         """Bring a crashed card back: port revived, its QPs recycled to
         RESET (re-connect is the caller's job — e.g. ``rebuild()`` on a
         collective group), schedulers resumed under the replay-or-reject
@@ -149,9 +165,167 @@ class FpgaCluster:
             scheduler.resume_after_recovery(quarantined=False)
         if self.monitor is not None:
             self.monitor.on_node_restored(index)
+        self.note_admin_event("node_restored", index, reason)
+
+    def note_admin_event(self, kind: str, node: int, reason: str) -> None:
+        """Record a maintenance event (crash/restore/drain/upgrade/...)
+        with its reason string, both locally and — when a ClusterMonitor
+        is attached — in the ``card_report()["health"]["cluster"]`` log."""
+        self.admin_log.append((self.env.now, kind, node, reason))
+        if self.monitor is not None:
+            self.monitor.record_admin_event(kind, node, reason)
 
     def alive_indices(self) -> List[int]:
         return [node.index for node in self.nodes if node.alive]
+
+    # ---------------------------------------------------- live migration
+
+    def _ensure_migrator(self):
+        """Build (once) and return the attached LiveMigrator."""
+        if self.migrator is None:
+            from .migrate.migrator import LiveMigrator
+
+            LiveMigrator(self)  # attaches itself as ``self.migrator``
+        return self.migrator
+
+    def drain_node(self, index: int, reason: str = "drain") -> Generator:
+        """Migrate every tenant off a node (a sim process).
+
+        Each registered pid moves to the least-loaded live peer; a
+        transfer abort falls back to the source and the pid retries
+        toward a different destination (up to three attempts).  Any
+        scheduler queue left on the node (requests not tied to a pid)
+        is transplanted afterwards under the replay-or-reject policy.
+        Returns the list of MigrationRecords.
+        """
+        from .migrate.errors import TransferAbortedError
+
+        node = self.nodes[index]
+        if not node.alive:
+            raise ValueError(f"cannot drain node {index}: it is down")
+        targets = [i for i in self.alive_indices() if i != index]
+        if not targets:
+            raise ValueError("drain needs at least one other live node")
+        migrator = self._ensure_migrator()
+        self.drains += 1
+        self.note_admin_event("node_drain", index, reason)
+        records = []
+        for pid in sorted(node.driver.processes):
+            tried: List[int] = []
+            while True:
+                remaining = [i for i in targets if i not in tried]
+                if not remaining:
+                    raise TransferAbortedError(
+                        index, tried[-1], f"drain-{pid}",
+                        f"pid {pid}: every destination aborted the transfer",
+                    )
+                dst = min(
+                    remaining,
+                    key=lambda i: (len(self.nodes[i].driver.processes), i),
+                )
+                try:
+                    record = yield from migrator.migrate(pid, index, dst)
+                    records.append(record)
+                    break
+                except TransferAbortedError:
+                    # The tenant fell back to the source; try another peer.
+                    tried.append(dst)
+        for scheduler in sorted(
+            node.driver.schedulers, key=lambda s: s.vfpga_id
+        ):
+            if not scheduler.has_work:
+                continue
+            for dst in sorted(
+                targets, key=lambda i: (len(self.nodes[i].driver.processes), i)
+            ):
+                if migrator._scheduler(self.nodes[dst], scheduler.vfpga_id) is not None:
+                    yield from migrator.migrate_queue(
+                        index, dst, scheduler.vfpga_id
+                    )
+                    break
+        return records
+
+    def rolling_upgrade(
+        self,
+        bitstreams: Optional[Dict[str, object]] = None,
+        reason: str = "upgrade",
+    ) -> Generator:
+        """Upgrade every live node in sequence, under live traffic.
+
+        Per node: drain its tenants to peers, fence it like a crash
+        (ports black-holed, heartbeats see it down), re-program each
+        loaded region through the ICAP bitstream cache (``bitstreams``
+        maps kernel name -> replacement bitstream; defaults to the
+        registered one), bump ``shell_version``, rejoin the fabric
+        (heartbeat pairs re-arm), and rebalance tenants back.  Returns a
+        per-node summary list.
+        """
+        if len(self.alive_indices()) < 2:
+            raise ValueError("rolling upgrade needs at least two live nodes")
+        summary = []
+        for index in [node.index for node in self.nodes]:
+            node = self.nodes[index]
+            if not node.alive:
+                continue
+            records = yield from self.drain_node(index, reason=reason)
+            self.crash_node(index, reason=reason)
+            regions = 0
+            for scheduler in sorted(
+                node.driver.schedulers, key=lambda s: s.vfpga_id
+            ):
+                if scheduler.loaded is None:
+                    continue
+                registration = scheduler._kernels[scheduler.loaded]
+                bitstream = (bitstreams or {}).get(
+                    scheduler.loaded, registration.bitstream
+                )
+                yield from node.driver.reconfigure_app(
+                    bitstream,
+                    scheduler.vfpga_id,
+                    registration.factory(),
+                    cached=True,
+                )
+                scheduler.loaded_app = node.shell.vfpgas[scheduler.vfpga_id].app
+                regions += 1
+            node.shell_version += 1
+            self.restore_node(index, reason=reason)
+            self.upgrades += 1
+            self.note_admin_event(
+                "node_upgraded", index, f"{reason}: {regions} region(s) re-programmed"
+            )
+            yield from self._rebalance()
+            summary.append(
+                {"node": index, "migrated": len(records), "regions": regions}
+            )
+        return summary
+
+    def _rebalance(self) -> Generator:
+        """Move pids from the most- to the least-loaded live node until
+        the spread is at most one tenant; stops early if a transfer
+        aborts (the tenant stays safe on its source)."""
+        from .migrate.errors import TransferAbortedError
+
+        migrator = self._ensure_migrator()
+        moved = []
+        while True:
+            alive = self.alive_indices()
+            if len(alive) < 2:
+                return moved
+            by_load = sorted(
+                alive, key=lambda i: (len(self.nodes[i].driver.processes), i)
+            )
+            lightest, heaviest = by_load[0], by_load[-1]
+            spread = len(self.nodes[heaviest].driver.processes) - len(
+                self.nodes[lightest].driver.processes
+            )
+            if spread <= 1:
+                return moved
+            pid = sorted(self.nodes[heaviest].driver.processes)[0]
+            try:
+                record = yield from migrator.migrate(pid, heaviest, lightest)
+            except TransferAbortedError:
+                return moved
+            moved.append(record)
 
     def collective_group(self, qpn_base: int = 0x100, **kwargs):
         """Build a :class:`repro.net.collectives.CollectiveGroup` over all

@@ -35,6 +35,7 @@ from ..sim.resources import Store
 from .errors import (
     DriverError,
     MrError,
+    ProcessClosedError,
     RingError,
     RingFullError,
     ZeroLengthDescriptorError,
@@ -291,10 +292,37 @@ class Driver:
         self.processes[pid] = ctx
         return ctx
 
-    def close(self, pid: int) -> None:
+    def close(self, pid: int, reason: str = "closed") -> None:
+        """Tear down a process context.
+
+        Closing mid-flight must not strand waiters: every pending
+        completion and every in-flight ring batch fails with a typed
+        :class:`ProcessClosedError` before the pages go away, so a
+        cThread closed mid-batch flushes instead of parking forever.
+        Registered MRs are dropped (unpinning their TLB entries) and all
+        allocations freed.
+        """
         ctx = self.processes.pop(pid, None)
         if ctx is None:
             raise DriverError(f"pid {pid} not registered")
+        exc = ProcessClosedError(pid, reason)
+        for event in ctx.pending.values():
+            if not event.triggered:
+                event.defuse().fail(exc)
+        ctx.pending.clear()
+        ctx.pending_since.clear()
+        if ctx.rings is not None:
+            ctx.rings.fail_batches(exc)
+        mmu = self.shell.dynamic.mmus.get(ctx.vfpga_id)
+        if ctx.mrs is not None:
+            page = ctx.page_table.page_size
+            for mr in sorted(ctx.mrs, key=lambda m: m.key):
+                if mmu is not None:
+                    start = mr.vaddr - (mr.vaddr % page)
+                    while start < mr.end:
+                        mmu.unpin(start)
+                        start += page
+                self.mrs_deregistered += 1
         for alloc in ctx.allocations:
             self._free_pages(ctx, alloc)
 
@@ -740,12 +768,19 @@ class Driver:
         """
         ctx = self._ctx(pid)
         mr = ctx.mrs.register(vaddr, length, writable)
+        yield from self._pin_mr_pages(ctx, mr)
+        return mr
+
+    def _pin_mr_pages(self, ctx: ProcessContext, mr: MemoryRegion) -> Generator:
+        """Walk + TLB-prefill + pin every page of a fresh MTT entry,
+        rolling the entry back on an unmapped page; charges the per-page
+        registration ioctl latency."""
         mmu = self.shell.dynamic.mmus[ctx.vfpga_id]
         page = ctx.page_table.page_size
         pinned = []
-        start = vaddr - (vaddr % page)
+        start = mr.vaddr - (mr.vaddr % page)
         try:
-            while start < vaddr + length:
+            while start < mr.end:
                 entry = ctx.page_table.walk(start)
                 mmu.prefill(
                     start, entry.paddr_in(entry.location), entry.location
@@ -761,7 +796,6 @@ class Driver:
         mr.num_pages = len(pinned)
         self.mrs_registered += 1
         yield self.env.timeout(MR_REGISTER_LATENCY_PER_PAGE_NS * len(pinned))
-        return mr
 
     def deregister_mr(self, pid: int, key: int) -> MemoryRegion:
         """Drop an MR: unpin its pages and retire the MTT entry (untimed)."""
@@ -775,6 +809,53 @@ class Driver:
                 mmu.unpin(start)
                 start += page
         self.mrs_deregistered += 1
+        return mr
+
+    # ------------------------------------------------- checkpoint restore
+
+    def restore_mem(
+        self, pid: int, vaddr: int, length: int, alloc_type: AllocType
+    ) -> Generator:
+        """Re-create a checkpointed allocation at its original vaddr.
+
+        Same mapping/TLB-prefill/latency behaviour as :meth:`get_mem`,
+        but at a fixed address so MR keys and undrained ring descriptors
+        captured on the source resolve unchanged on the destination.
+        Pages come up host-resident; a restored tenant's card pages
+        re-migrate on demand through the normal fault path.
+        """
+        ctx = self._ctx(pid)
+        if alloc_type.page_size != ctx.page_table.page_size:
+            raise DriverError(
+                f"restored allocation page size {alloc_type.page_size} does "
+                f"not match the shell MMU page size {ctx.page_table.page_size}"
+            )
+        alloc = ctx.valloc.allocate_at(vaddr, length, alloc_type)
+        mmu = self.shell.dynamic.mmus[ctx.vfpga_id]
+        for page_no in range(alloc.num_pages):
+            page_vaddr = alloc.vaddr + page_no * alloc.page_size
+            frame = self._host_frames[alloc.page_size]
+            paddr = self._host_base[alloc.page_size] + frame.allocate()
+            entry = PageTableEntry(
+                vpn=ctx.page_table.vpn_of(page_vaddr),
+                host_paddr=paddr,
+                location=MemLocation.HOST,
+            )
+            ctx.page_table.map(entry)
+            mmu.prefill(page_vaddr, paddr, MemLocation.HOST)
+        ctx.allocations.append(alloc)
+        yield self.env.timeout(ALLOC_LATENCY_PER_PAGE_NS * alloc.num_pages)
+        return alloc
+
+    def restore_mr(
+        self, pid: int, key: int, vaddr: int, length: int, writable: bool = True
+    ) -> Generator:
+        """Re-register a checkpointed MR under its *original* key; pages
+        are walked, prefetched and pinned exactly as :meth:`register_mr`
+        does for a fresh registration."""
+        ctx = self._ctx(pid)
+        mr = ctx.mrs.restore(key, vaddr, length, writable)
+        yield from self._pin_mr_pages(ctx, mr)
         return mr
 
     def _rings(self, ctx: ProcessContext) -> RingState:

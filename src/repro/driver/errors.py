@@ -10,6 +10,7 @@ from __future__ import annotations
 
 __all__ = [
     "DriverError",
+    "ProcessClosedError",
     "ZeroLengthDescriptorError",
     "RingError",
     "RingFullError",
@@ -23,6 +24,18 @@ __all__ = [
 
 class DriverError(Exception):
     """Invalid request at the driver's ioctl surface."""
+
+
+class ProcessClosedError(DriverError):
+    """The process's driver context was torn down (``close``/migration)
+    while work was still in flight; every parked waiter — pending
+    completions and ring batches alike — is failed with this instead of
+    hanging forever."""
+
+    def __init__(self, pid: int, reason: str = "closed"):
+        super().__init__(f"pid {pid} was closed with work in flight ({reason})")
+        self.pid = pid
+        self.reason = reason
 
 
 class ZeroLengthDescriptorError(DriverError):

@@ -27,7 +27,6 @@ the request.
 
 from __future__ import annotations
 
-import itertools
 from collections import deque
 from dataclasses import dataclass
 from enum import Enum
@@ -120,7 +119,7 @@ class MrTable:
     def __init__(self, pid: int):
         self.pid = pid
         self._regions: Dict[int, MemoryRegion] = {}
-        self._keys = itertools.count(1)
+        self._next_key = 1
 
     def __len__(self) -> int:
         return len(self._regions)
@@ -128,7 +127,7 @@ class MrTable:
     def __iter__(self):
         return iter(self._regions.values())
 
-    def register(self, vaddr: int, length: int, writable: bool = True) -> MemoryRegion:
+    def _check_range(self, vaddr: int, length: int) -> None:
         if length <= 0:
             raise MrError(f"MR length must be positive, got {length}")
         if vaddr < 0:
@@ -139,14 +138,40 @@ class MrTable:
                     f"[{vaddr:#x}, {vaddr + length:#x}) overlaps MR key "
                     f"{mr.key} [{mr.vaddr:#x}, {mr.end:#x})"
                 )
+
+    def register(self, vaddr: int, length: int, writable: bool = True) -> MemoryRegion:
+        self._check_range(vaddr, length)
         mr = MemoryRegion(
-            key=next(self._keys),
+            key=self._next_key,
             pid=self.pid,
             vaddr=vaddr,
             length=length,
             writable=writable,
         )
+        self._next_key += 1
         self._regions[mr.key] = mr
+        return mr
+
+    def restore(
+        self, key: int, vaddr: int, length: int, writable: bool = True
+    ) -> MemoryRegion:
+        """Re-create a region with its *original* key (checkpoint restore).
+
+        Ring descriptors captured in a checkpoint name MR keys, so the
+        destination MTT must reproduce the source's key assignment
+        exactly; the allocator cursor jumps past restored keys so fresh
+        registrations never collide with them.
+        """
+        if key in self._regions:
+            raise MrKeyError(f"pid {self.pid}: MR key {key} already in use")
+        if key <= 0:
+            raise MrKeyError(f"pid {self.pid}: invalid MR key {key}")
+        self._check_range(vaddr, length)
+        mr = MemoryRegion(
+            key=key, pid=self.pid, vaddr=vaddr, length=length, writable=writable
+        )
+        self._regions[key] = mr
+        self._next_key = max(self._next_key, key + 1)
         return mr
 
     def lookup(self, key: int) -> MemoryRegion:
@@ -220,6 +245,18 @@ class CommandRing:
         self._slots.clear()
         self.head = self.tail
         return batch
+
+    def rebase(self, head: int) -> None:
+        """Rewind the monotonic indices to a checkpointed ``head`` so a
+        restored ring reproduces the source's CSR values exactly; only
+        legal on an empty, drained ring (re-posting the checkpointed
+        slots then advances ``tail`` to its recorded value)."""
+        if self._slots or self.head != self.tail:
+            raise RingError("cannot rebase a ring with slots posted")
+        if head < 0:
+            raise RingError(f"ring head must be non-negative, got {head}")
+        self.head = head
+        self.tail = head
 
 
 class CompletionBatch:

@@ -75,6 +75,7 @@ __all__ = [
     "NODE_CRASH",
     "LINK_FLAP",
     "NET_PARTITION",
+    "MIGRATE_TRANSFER_DROP",
 ]
 
 NET_DROP = "net.drop"
@@ -92,6 +93,7 @@ APP_WEDGE_CREDIT = "app.wedge_credit"
 NODE_CRASH = "node.crash"
 LINK_FLAP = "link.flap"
 NET_PARTITION = "net.partition"
+MIGRATE_TRANSFER_DROP = "migrate.transfer_drop"
 
 #: The registry proper: ``site -> (owning model, effect when fired)``.
 #: This single dict feeds three consumers that previously drifted apart:
@@ -146,6 +148,10 @@ FAULT_SITE_DOCS = {
     NET_PARTITION: (
         "net.switch.Switch",
         "the frame's src/dst port pair stops exchanging frames bidirectionally until healed",
+    ),
+    MIGRATE_TRANSFER_DROP: (
+        "migrate.transfer.MigrationChannel",
+        "a checkpoint chunk is dropped in flight; the sender retries with backoff and falls back to the source node when retries exhaust",
     ),
 }
 

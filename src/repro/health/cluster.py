@@ -46,7 +46,7 @@ class ClusterHealthConfig:
     miss_threshold: int = 3
     #: Base QPN for the dedicated heartbeat mesh.
     qpn_base: int = HEARTBEAT_QPN_BASE
-    #: Keep at most this many (time, kind, node) events in the log.
+    #: Keep at most this many (time, kind, node, reason) events in the log.
     max_events: int = 256
 
 
@@ -97,14 +97,17 @@ class ClusterMonitor:
         self._pair_qpns: Dict[Tuple[int, int], Tuple[int, int]] = {}
         self._stopped = False
 
-        #: Edge-triggered ``(time_ns, "node_down"|"node_up", node_index)``.
-        self.events: List[Tuple[float, str, int]] = []
+        #: Edge-triggered detector events plus administrative ones
+        #: (crash/restore/drain/upgrade/migration), each a
+        #: ``(time_ns, kind, node_index, reason)`` tuple.
+        self.events: List[Tuple[float, str, int, str]] = []
         self.heartbeats_sent = 0
         self.heartbeats_received = 0
         self.polls = 0
         self.down_events = 0
         self.up_events = 0
         self.rearms = 0
+        self.admin_events = 0
 
         self._build_mesh()
         cluster.monitor = self
@@ -273,10 +276,18 @@ class ClusterMonitor:
             if node != peer and not self._down.get(node, False)
         ]
 
-    def _record(self, kind: str, node: int) -> None:
-        self.events.append((self.env.now, kind, node))
+    def _record(self, kind: str, node: int, reason: str = "") -> None:
+        self.events.append((self.env.now, kind, node, reason))
         if len(self.events) > self.config.max_events:
             del self.events[0 : len(self.events) - self.config.max_events]
+
+    def record_admin_event(self, kind: str, node: int, reason: str = "") -> None:
+        """Administrative event feed (``FpgaCluster.note_admin_event``):
+        crashes, restores, drains, upgrades and migrations land in the
+        same timestamped log as detector events, reason string included,
+        so the report shows *why* a node went away, not just that it did."""
+        self._record(kind, node, reason)
+        self.admin_events += 1
 
     def poll_once(self) -> None:
         """One detector pass: accrue suspicion, edge-trigger events."""
@@ -294,7 +305,10 @@ class ClusterMonitor:
                 if len(suspects) == len(observers):
                     self._down[peer] = True
                     self.down_events += 1
-                    self._record("node_down", peer)
+                    self._record(
+                        "node_down", peer,
+                        "all live observers lost heartbeats",
+                    )
             else:
                 heard = [
                     obs
@@ -304,7 +318,7 @@ class ClusterMonitor:
                 if heard:
                     self._down[peer] = False
                     self.up_events += 1
-                    self._record("node_up", peer)
+                    self._record("node_up", peer, "heartbeats resumed")
         if self.telemetry is not None:
             self.last_snapshot = self.telemetry.snapshot()
 
@@ -320,8 +334,8 @@ class ClusterMonitor:
             "nodes": self.size,
             "down": self.down_nodes,
             "events": [
-                {"time_ns": time, "kind": kind, "node": node}
-                for time, kind, node in self.events
+                {"time_ns": time, "kind": kind, "node": node, "reason": reason}
+                for time, kind, node, reason in self.events
             ],
             "heartbeats_sent": self.heartbeats_sent,
             "heartbeats_received": self.heartbeats_received,
@@ -336,4 +350,5 @@ class ClusterMonitor:
         registry.counter("cluster.node_down_events").value = self.down_events
         registry.counter("cluster.node_up_events").value = self.up_events
         registry.counter("cluster.heartbeat_rearms").value = self.rearms
+        registry.counter("cluster.admin_events").value = self.admin_events
         registry.gauge("cluster.nodes_suspected").set(len(self.down_nodes))

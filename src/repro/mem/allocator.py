@@ -80,6 +80,33 @@ class VirtualAllocator:
         self.allocations.append(alloc)
         return alloc
 
+    def allocate_at(self, vaddr: int, length: int, alloc_type: AllocType = AllocType.HPF) -> Allocation:
+        """Reserve a buffer at a *fixed* virtual address (checkpoint
+        restore: the destination must reproduce the source's layout so
+        registered MRs and undrained ring slots stay valid verbatim).
+
+        The address must be page-aligned and must not overlap any live
+        allocation; the bump pointer advances past it so later
+        :meth:`allocate` calls never collide with restored buffers.
+        """
+        if length <= 0:
+            raise ValueError("allocation length must be positive")
+        page = alloc_type.page_size
+        if vaddr % page:
+            raise ValueError(f"restore address {vaddr:#x} not {page}-byte aligned")
+        alloc = Allocation(vaddr=vaddr, length=length, alloc_type=alloc_type)
+        end = vaddr + alloc.num_pages * page
+        for live in self.allocations:
+            live_end = live.vaddr + live.num_pages * live.page_size
+            if vaddr < live_end and live.vaddr < end:
+                raise ValueError(
+                    f"restore range [{vaddr:#x}, {end:#x}) overlaps live "
+                    f"allocation at {live.vaddr:#x}"
+                )
+        self._next = max(self._next, end)
+        self.allocations.append(alloc)
+        return alloc
+
     def free(self, alloc: Allocation) -> None:
         try:
             self.allocations.remove(alloc)

@@ -1,0 +1,54 @@
+"""Checkpoint/restore and live migration of vFPGA tenants.
+
+``repro.migrate`` raises the cluster abstraction one level: tenants are
+no longer pinned to the card that admitted them.  A quiesced tenant's
+driver and shell state serialises into a versioned, checksummed
+:class:`VfpgaCheckpoint`; a :class:`LiveMigrator` ships checkpoints
+between nodes over RDMA with pre-copy double-buffering and a short
+stop-and-copy window; and :meth:`repro.cluster.FpgaCluster.drain_node` /
+:meth:`~repro.cluster.FpgaCluster.rolling_upgrade` build node
+maintenance on top — all under live traffic, with fallback-to-source on
+any transfer failure.
+"""
+
+from .checkpoint import (
+    CHECKPOINT_MAGIC,
+    CHECKPOINT_VERSION,
+    VfpgaCheckpoint,
+    memory_image,
+    restore_tenant,
+    snapshot_tenant,
+)
+from .errors import (
+    CheckpointCorruptError,
+    CheckpointError,
+    CheckpointUnsupportedError,
+    CheckpointVersionError,
+    MigratedError,
+    MigrateError,
+    TransferAbortedError,
+)
+from .migrator import LiveMigrator, MigrateConfig, MigrationRecord
+from .transfer import DEFAULT_CHUNK_BYTES, MIGRATION_QPN_BASE, MigrationChannel
+
+__all__ = [
+    "CHECKPOINT_MAGIC",
+    "CHECKPOINT_VERSION",
+    "VfpgaCheckpoint",
+    "memory_image",
+    "snapshot_tenant",
+    "restore_tenant",
+    "MigrateError",
+    "CheckpointError",
+    "CheckpointCorruptError",
+    "CheckpointVersionError",
+    "CheckpointUnsupportedError",
+    "TransferAbortedError",
+    "MigratedError",
+    "MigrateConfig",
+    "MigrationRecord",
+    "LiveMigrator",
+    "MigrationChannel",
+    "MIGRATION_QPN_BASE",
+    "DEFAULT_CHUNK_BYTES",
+]

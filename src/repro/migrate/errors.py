@@ -1,0 +1,78 @@
+"""Typed errors for the checkpoint/restore and live-migration layer.
+
+The one load-bearing subtlety is :class:`MigratedError`: it subclasses
+:class:`repro.health.errors.RecoveredError`, so when the migrator
+quiesces a scheduler the interrupted in-flight request is *parked* (the
+replay-or-reject policy applies on the destination) rather than treated
+as an application failure — exactly the path region recovery already
+exercises.
+"""
+
+from __future__ import annotations
+
+from ..health.errors import RecoveredError
+
+__all__ = [
+    "MigrateError",
+    "CheckpointError",
+    "CheckpointCorruptError",
+    "CheckpointVersionError",
+    "CheckpointUnsupportedError",
+    "TransferAbortedError",
+    "MigratedError",
+]
+
+
+class MigrateError(Exception):
+    """Base class for checkpoint / migration failures."""
+
+
+class CheckpointError(MigrateError):
+    """A checkpoint could not be captured, encoded or decoded."""
+
+
+class CheckpointCorruptError(CheckpointError):
+    """Checkpoint bytes failed the magic or sha256 integrity check."""
+
+
+class CheckpointVersionError(CheckpointError):
+    """Checkpoint was written by an incompatible format version."""
+
+    def __init__(self, found: int, expected: int):
+        self.found = found
+        self.expected = expected
+        super().__init__(
+            f"checkpoint version {found} not restorable by version {expected}"
+        )
+
+
+class CheckpointUnsupportedError(CheckpointError):
+    """Tenant state that the checkpoint format cannot carry (e.g. pages
+    resident in GPU memory, which the shell cannot read back)."""
+
+
+class TransferAbortedError(MigrateError):
+    """Checkpoint transfer gave up after exhausting chunk retries.
+
+    The migrator's contract is that this error never strands the tenant:
+    the source region is resumed (fallback-to-source) before the error
+    propagates to the caller.
+    """
+
+    def __init__(self, src: int, dst: int, tag: str, reason: str):
+        self.src = src
+        self.dst = dst
+        self.tag = tag
+        self.reason = reason
+        super().__init__(
+            f"transfer {tag!r} node {src} -> node {dst} aborted: {reason}"
+        )
+
+
+class MigratedError(RecoveredError, MigrateError):
+    """Quiesce cause used while a tenant is being migrated.
+
+    Subclassing :class:`RecoveredError` routes the interrupted request
+    into the scheduler's parked-request slot, so the idempotent-replay
+    policy runs on whichever node the queue lands on.
+    """

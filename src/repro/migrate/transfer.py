@@ -1,0 +1,176 @@
+"""Checkpoint transfer over RDMA: chunked SENDs with retry/backoff.
+
+Each ordered (source, destination) node pair gets a dedicated
+:class:`MigrationChannel` — a QP pair in a QPN range below the heartbeat
+mesh — over which checkpoints move as a JSON header followed by
+fixed-size chunks.  Every chunk consults the fabric fault injector for
+the ``migrate.transfer_drop`` site; a dropped (or RC-flushed) chunk is
+retried with capped exponential backoff, and retry exhaustion raises
+:class:`TransferAbortedError` so the migrator can fall back to the
+source.  One transfer at a time per channel: the migrator serialises
+migrations, and the receive loop reassembles exactly one blob per call.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Generator
+
+from ..faults.plan import MIGRATE_TRANSFER_DROP
+from ..faults.retry import RetryPolicy
+from ..net.rdma import RdmaError
+from .errors import TransferAbortedError
+
+__all__ = ["MIGRATION_QPN_BASE", "DEFAULT_CHUNK_BYTES", "MigrationChannel"]
+
+#: Migration QPNs sit between the collective (0x100+) and heartbeat
+#: (0xE000+) ranges.
+MIGRATION_QPN_BASE = 0xD000
+
+DEFAULT_CHUNK_BYTES = 8192
+
+
+class MigrationChannel:
+    """A directed checkpoint pipe between two cluster nodes."""
+
+    def __init__(
+        self,
+        cluster,
+        src: int,
+        dst: int,
+        qpn_base: int = MIGRATION_QPN_BASE,
+        chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+        retry: RetryPolicy = RetryPolicy(),
+        stats: Dict[str, int] = None,
+    ):
+        if src == dst:
+            raise ValueError("migration channel needs two distinct nodes")
+        self.cluster = cluster
+        self.env = cluster.env
+        self.src = src
+        self.dst = dst
+        self.chunk_bytes = chunk_bytes
+        self.retry = retry
+        #: Shared counter sink (the migrator's stats dict).
+        self.stats = stats if stats is not None else {
+            "chunks_sent": 0,
+            "chunk_retries": 0,
+            "transfer_drops": 0,
+            "bytes_sent": 0,
+        }
+        self.src_stack = cluster.nodes[src].shell.dynamic.rdma
+        self.dst_stack = cluster.nodes[dst].shell.dynamic.rdma
+        if self.src_stack is None or self.dst_stack is None:
+            raise ValueError("migration needs the RDMA service on both nodes")
+        size = len(cluster)
+        self.qpn_src = qpn_base + src * size + dst
+        self.qpn_dst = qpn_base + dst * size + src
+        self._connected = False
+
+    def ensure(self) -> None:
+        """(Re)connect the QP pair; cheap no-op while it is healthy."""
+        src_qp = self.src_stack.qps.get(self.qpn_src)
+        dst_qp = self.dst_stack.qps.get(self.qpn_dst)
+        if src_qp is None:
+            src_qp = self.src_stack.create_qp(self.qpn_src, psn=self.qpn_src)
+        if dst_qp is None:
+            dst_qp = self.dst_stack.create_qp(self.qpn_dst, psn=self.qpn_dst)
+        if not src_qp.connected or not dst_qp.connected:
+            self.src_stack.reset_qp(self.qpn_src)
+            self.dst_stack.reset_qp(self.qpn_dst)
+            src_qp.connect(dst_qp.local)
+            dst_qp.connect(src_qp.local)
+
+    # ---------------------------------------------------------- transfer
+
+    def transfer(self, tag: str, data: bytes) -> Generator:
+        """Ship ``data`` to the destination; returns the received bytes.
+
+        Runs the receive loop as a child process so send and reassembly
+        overlap; a send-side abort defuses the receiver before the error
+        propagates.
+        """
+        if not data:
+            raise ValueError("refusing to transfer an empty blob")
+        self.ensure()
+        recv_proc = self.env.process(
+            self._receive(tag), name=f"mig-recv-{self.src}-{self.dst}"
+        )
+        try:
+            yield from self._send_all(tag, data)
+        except TransferAbortedError:
+            recv_proc.defuse()
+            if recv_proc.is_alive:
+                recv_proc.interrupt(cause=RdmaError(f"transfer {tag!r} aborted"))
+            raise
+        received = yield recv_proc
+        return received
+
+    def _send_all(self, tag: str, data: bytes) -> Generator:
+        chunks = [
+            data[start : start + self.chunk_bytes]
+            for start in range(0, len(data), self.chunk_bytes)
+        ]
+        header = json.dumps(
+            {"tag": tag, "length": len(data), "chunks": len(chunks)},
+            sort_keys=True,
+            separators=(",", ":"),
+        ).encode()
+        for index, payload in enumerate([header] + chunks):
+            yield from self._send_chunk(tag, index, payload)
+
+    def _send_chunk(self, tag: str, index: int, payload: bytes) -> Generator:
+        attempt = 0
+        reason = "dropped in flight"
+        while True:
+            injector = getattr(self.cluster.switch, "faults", None)
+            dropped = injector is not None and injector.fires(
+                MIGRATE_TRANSFER_DROP,
+                {
+                    "src": self.src,
+                    "dst": self.dst,
+                    "tag": tag,
+                    "chunk": index,
+                    "attempt": attempt,
+                },
+            )
+            if dropped:
+                self.stats["transfer_drops"] += 1
+            else:
+                try:
+                    yield from self.src_stack.send(
+                        self.qpn_src, payload, wr_id=self.qpn_src
+                    )
+                    self.stats["chunks_sent"] += 1
+                    self.stats["bytes_sent"] += len(payload)
+                    return
+                except RdmaError as exc:
+                    reason = str(exc)
+            attempt += 1
+            if attempt > self.retry.max_retries:
+                raise TransferAbortedError(
+                    self.src,
+                    self.dst,
+                    tag,
+                    f"chunk {index} failed after {attempt} attempts: {reason}",
+                )
+            self.stats["chunk_retries"] += 1
+            yield from self.retry.sleep(self.env, attempt)
+
+    def _receive(self, tag: str) -> Generator:
+        header_raw = yield from self.dst_stack.recv(self.qpn_dst)
+        header = json.loads(header_raw.decode())
+        parts = []
+        for _ in range(header["chunks"]):
+            part = yield from self.dst_stack.recv(self.qpn_dst)
+            parts.append(part)
+        data = b"".join(parts)
+        if header["tag"] != tag or len(data) != header["length"]:
+            raise TransferAbortedError(
+                self.src,
+                self.dst,
+                tag,
+                f"reassembly mismatch: got {len(data)} bytes of "
+                f"{header['tag']!r}, expected {header['length']} of {tag!r}",
+            )
+        return data

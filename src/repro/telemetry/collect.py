@@ -159,6 +159,14 @@ def _collect_fabric(reg: MetricsRegistry, cluster) -> None:
     )
     _set_counter(reg, "cluster.node_crashes", getattr(cluster, "crashes", 0))
     _set_counter(reg, "cluster.node_restores", getattr(cluster, "restores", 0))
+    _set_counter(reg, "cluster.node_drains", getattr(cluster, "drains", 0))
+    _set_counter(reg, "cluster.node_upgrades", getattr(cluster, "upgrades", 0))
+    _set_counter(
+        reg, "cluster.tenant_migrations", getattr(cluster, "migrations", 0)
+    )
+    migrator = getattr(cluster, "migrator", None)
+    if migrator is not None:
+        migrator.export_metrics(reg)
     nodes_alive = reg.gauge("cluster.nodes_alive")
     nodes_alive.set(sum(1 for node in cluster.nodes if getattr(node, "alive", True)))
     monitor = getattr(cluster, "monitor", None)

@@ -191,13 +191,18 @@ def test_cluster_monitor_detects_crash_and_restore():
     cluster.crash_node(1)
     env.run(until=1_500_000.0)
     assert monitor.down_nodes == [1]
-    kinds = [kind for _, kind, node in monitor.events if node == 1]
-    assert kinds == ["node_down"]
+    kinds = [kind for _, kind, node, _reason in monitor.events if node == 1]
+    assert kinds == ["node_crashed", "node_down"]
     cluster.restore_node(1)
     env.run(until=3_000_000.0)
     assert monitor.down_nodes == []
-    kinds = [kind for _, kind, node in monitor.events if node == 1]
-    assert kinds == ["node_down", "node_up"]
+    kinds = [kind for _, kind, node, _reason in monitor.events if node == 1]
+    assert kinds == ["node_crashed", "node_down", "node_restored", "node_up"]
+    reasons = {
+        kind: reason for _, kind, node, reason in monitor.events if node == 1
+    }
+    assert reasons["node_crashed"] == "crash"
+    assert reasons["node_restored"] == "restore"
     assert monitor.rearms >= 2  # restore re-armed both heartbeat pairs
     monitor.stop()
     env.run()  # every loop parks or exits: the sim must drain
@@ -393,7 +398,7 @@ def run_failover():
     env.run(until=env.now + 1_000_000.0)
     record["down"] = list(monitor.down_nodes)
     record["monitor_events"] = [
-        (time, kind, node) for time, kind, node in monitor.events
+        (time, kind, node, reason) for time, kind, node, reason in monitor.events
     ]
     monitor.stop()
     env.run()  # symmetric abort proven the hard way: the sim drains
