@@ -1,21 +1,42 @@
 """Analyzer orchestration: load modules, run rules, apply waivers.
 
 ``run_paths(roots)`` is the single entry point the CLI and the test
-suite share.  Findings come back sorted ``(path, line, code)`` so the
-report — and therefore CI output — is deterministic, which is only
-fitting for a determinism linter.
+suite share.  It runs in two phases:
+
+1. **per-module** — every file gets the PR 4 lexical rules (DET*,
+   SIM001, RES001, FLT001, TEL001);
+2. **whole-program** — all parsed modules are folded into one
+   :class:`~repro.analysis.flow.ProjectIndex` and the interprocedural
+   ``flow`` rule families run on it: EVT001/EVT002 (event producer
+   reachability), DLK001 (static wait-for cycles), STM001 (QP protocol
+   conformance against the declared ``QP_PROTOCOL`` table) and RES002
+   (credit pairing across helper boundaries).
+
+Waivers are applied *after* both phases so a project-level finding can
+be waived at its anchor line like any lexical one, and waiver hygiene
+(WAI001/WAI002 and — when the caller supplies ``today`` — WAI003
+expiry) still sees every suppression.  Findings come back sorted
+``(path, line, code)`` so the report — and therefore CI output — is
+deterministic, which is only fitting for a determinism linter.
 """
 
 from __future__ import annotations
 
-import ast
 from pathlib import Path
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from .fault_table import check_fault_table
-from .findings import Finding, make_finding
+from .findings import Finding
+from .flow import ProjectIndex
 from .modules import SourceModule, iter_python_files, load_module
 from .rules_determinism import check_det001, check_det002, check_sim001
+from .rules_events import check_dlk001, check_evt001, check_evt002
+from .rules_protocol import (
+    check_res002,
+    check_stm001,
+    find_qp_protocol_path,
+    load_qp_protocol,
+)
 from .rules_registry import (
     check_flt001,
     check_tel001,
@@ -49,9 +70,7 @@ class AnalysisResult:
         return "\n".join(lines)
 
 
-def _module_findings(
-    module: SourceModule, sites: FrozenSet[str]
-) -> Tuple[List[Finding], int]:
+def _module_findings(module: SourceModule, sites: FrozenSet[str]) -> List[Finding]:
     raw: List[Finding] = []
     raw += check_det001(module)
     raw += check_det002(module)
@@ -59,16 +78,32 @@ def _module_findings(
     raw += check_res001(module)
     raw += check_flt001(module, sites)
     raw += check_tel001(module)
-    kept = [f for f in raw if not module.waivers.suppresses(f)]
-    waived = len(raw) - len(kept)
-    kept += module.waivers.hygiene_findings()
-    return kept, waived
+    return raw
+
+
+def _project_findings(
+    modules: List[SourceModule],
+    roots: List[Path],
+    qp_protocol: Optional[Path],
+) -> List[Finding]:
+    index = ProjectIndex(modules)
+    raw: List[Finding] = []
+    raw += check_evt001(index)
+    raw += check_evt002(index)
+    raw += check_dlk001(index)
+    raw += check_res002(index)
+    protocol_path = qp_protocol or find_qp_protocol_path(roots)
+    if protocol_path is not None and protocol_path.exists():
+        raw += check_stm001(index, load_qp_protocol(protocol_path))
+    return raw
 
 
 def run_paths(
     roots: List[Path],
     design_doc: Optional[Path] = None,
     fault_registry: Optional[Path] = None,
+    qp_protocol: Optional[Path] = None,
+    today: str = "",
 ) -> AnalysisResult:
     result = AnalysisResult()
     registry_path = fault_registry or find_fault_registry_path(roots)
@@ -79,6 +114,9 @@ def run_paths(
         except (OSError, SyntaxError) as exc:
             result.errors.append(f"cannot read fault registry {registry_path}: {exc}")
     sites = frozenset(docs)
+    modules: List[SourceModule] = []
+    by_path: Dict[str, SourceModule] = {}
+    raw: List[Finding] = []
     for path in iter_python_files(roots):
         try:
             module = load_module(path)
@@ -86,9 +124,20 @@ def run_paths(
             result.errors.append(f"cannot parse {path}: {exc}")
             continue
         result.files_checked += 1
-        findings, waived = _module_findings(module, sites)
-        result.waivers_honoured += waived
-        result.findings.extend(findings)
+        modules.append(module)
+        by_path[module.display_path] = module
+        raw.extend(_module_findings(module, sites))
+    raw.extend(_project_findings(modules, roots, qp_protocol))
+    # Waivers last: project-level findings are waivable at their anchor
+    # line exactly like lexical ones, and use-tracking stays accurate.
+    for finding in raw:
+        module = by_path.get(finding.path)
+        if module is not None and module.waivers.suppresses(finding):
+            result.waivers_honoured += 1
+            continue
+        result.findings.append(finding)
+    for module in modules:
+        result.findings.extend(module.waivers.hygiene_findings(today))
     doc_path = design_doc if design_doc is not None else Path("DESIGN.md")
     if docs and doc_path.exists():
         result.findings.extend(check_fault_table(doc_path, docs))

@@ -25,7 +25,8 @@ class RuleInfo:
 
 #: code -> rule description.  Codes are grouped by invariant family:
 #: DET* determinism, RES* resource pairing, FLT*/TEL* registry hygiene,
-#: SIM* simulation purity, DOC* generated-doc drift, WAI* waiver hygiene.
+#: SIM* simulation purity, DOC* generated-doc drift, WAI* waiver hygiene,
+#: EVT*/DLK*/STM* whole-program concurrency (the ``flow`` pass).
 RULE_CATALOG: Dict[str, RuleInfo] = {
     info.code: info
     for info in (
@@ -71,6 +72,41 @@ RULE_CATALOG: Dict[str, RuleInfo] = {
             "run `python -m repro.analysis --write-fault-table DESIGN.md`",
         ),
         RuleInfo(
+            "RES002",
+            "helper call acquires credit(s) with no release guaranteed in "
+            "the caller (interprocedural RES001)",
+            "wrap the helper call in try/finally releasing the credit, or "
+            "waive the call site naming the releasing counterpart",
+        ),
+        RuleInfo(
+            "EVT001",
+            "event awaited but no reachable succeed()/fail() producer "
+            "anywhere in the project (lost wakeup)",
+            "add the producer, or let the event escape to the code that "
+            "triggers it (pass/store/return it)",
+        ),
+        RuleInfo(
+            "EVT002",
+            "succeed() reachable after defuse() marked the event's failure "
+            "handled out-of-band",
+            "pick one outcome: defuse()+fail(exc) is the sanctioned "
+            "chain; succeeding a defused event contradicts the handoff",
+        ),
+        RuleInfo(
+            "DLK001",
+            "static wait-for cycle between generator processes (each awaits "
+            "an event only the other can set)",
+            "break the cycle: add an independent producer/timeout for one "
+            "of the events, or merge the processes",
+        ),
+        RuleInfo(
+            "STM001",
+            "QP method-call sequence violates the declared modify_qp "
+            "transition ladder (QP_PROTOCOL in repro/net/qp.py)",
+            "follow RESET→INIT→RTR→RTS (connect() walks it); reset()/"
+            "to_error() are legal from any state",
+        ),
+        RuleInfo(
             "WAI001",
             "waiver without a one-line justification",
             "append the reason after the bracket: "
@@ -80,6 +116,13 @@ RULE_CATALOG: Dict[str, RuleInfo] = {
             "WAI002",
             "waiver that suppressed nothing (stale or misplaced)",
             "delete the waiver, or move it onto the offending line",
+        ),
+        RuleInfo(
+            "WAI003",
+            "waiver expired (its until=YYYY-MM-DD date has passed) or "
+            "carries an unparseable until= date",
+            "fix the underlying finding, or renew the date with a fresh "
+            "justification: `# repro: allow[RULE] until=YYYY-MM-DD why`",
         ),
     )
 }

@@ -17,6 +17,19 @@ the *run* upholds the invariants the shell's guarantees rest on:
   convention, enforced at runtime for dynamically built names the
   TEL001 literal check cannot reach.
 
+* **stuck-at-drain ledger** — when a run drains (no events left) while
+  generator processes are still parked on untriggered events, those
+  waiters can never resume: the static face of this bug is EVT001's
+  lost-wakeup rule, and the ledger is its dynamic witness.  Each orphan
+  is attributed to the *creation site* of the event it waits on (file
+  and line, captured at ``Event()`` construction while sanitizing).
+  Daemon loops legitimately park at drain (a Store.get feeding a mover),
+  so the ledger is a *query* (:meth:`SimSanitizer.stuck_ledger`) plus an
+  explicit assertion (:meth:`SimSanitizer.check_stuck_at_drain`) for
+  workloads known to quiesce — it is deliberately not folded into the
+  autouse test gate.  Ledger rendering is deterministic: identical
+  seeded runs produce byte-identical reports.
+
 Opt-in: set ``REPRO_SANITIZE=1`` and every ``Environment`` attaches the
 process-wide sanitizer (``current()``); tests' conftest fails any test
 that accumulated violations.  Detached cost is one ``is None`` branch
@@ -31,12 +44,14 @@ flips to fail-fast for debugging.
 from __future__ import annotations
 
 import os
+import sys
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional
 
 __all__ = [
     "SimSanitizer",
     "SanitizerError",
+    "StuckWaiter",
     "Violation",
     "current",
     "activate",
@@ -51,6 +66,37 @@ _TIME_EPS = 1e-9
 
 class SanitizerError(AssertionError):
     """Raised in strict mode, and by ``raise_if_violations``."""
+
+
+def _creation_site() -> str:
+    """``dir/file.py:line`` of the nearest caller outside the engine and
+    the sanitizer — the frame that actually asked for the event.  Only
+    the trailing two path components are kept so the string (and hence
+    the ledger) is stable across checkouts and runs."""
+    frame = sys._getframe(1)
+    while frame is not None:
+        filename = frame.f_code.co_filename
+        base = os.path.basename(filename)
+        if base not in ("engine.py", "sanitizer.py", "resources.py"):
+            tail = filename.replace(os.sep, "/").rsplit("/", 2)[-2:]
+            return "/".join(tail) + f":{frame.f_lineno}"
+        frame = frame.f_back
+    return "<unknown>"
+
+
+@dataclass(frozen=True)
+class StuckWaiter:
+    """One orphaned waiter in the stuck-at-drain ledger."""
+
+    process: str     # Process.name of the parked generator
+    origin: str      # creation site of the event it waits on
+    time_ns: float   # simulated clock at drain
+
+    def render(self) -> str:
+        return (
+            f"process {self.process!r} parked at drain (t={self.time_ns:.1f}ns) "
+            f"on an untriggered event created at {self.origin}"
+        )
 
 
 @dataclass(frozen=True)
@@ -71,6 +117,7 @@ class SimSanitizer:
         self.violations: List[Violation] = []
         self._crediters: List[Any] = []
         self._metric_kinds: Dict[str, str] = {}
+        self._processes: List[Any] = []
 
     # ------------------------------------------------------------- plumbing
 
@@ -97,6 +144,7 @@ class SimSanitizer:
         self.violations.clear()
         self._metric_kinds.clear()
         self._crediters.clear()
+        self._processes.clear()
 
     # --------------------------------------------------------- engine hooks
 
@@ -116,6 +164,50 @@ class SimSanitizer:
                 f"t={env.now:.1f}ns",
                 env.now,
             )
+
+    def on_event_created(self, event: Any) -> None:
+        """Stamp the event with its creation site (engine hook, called
+        only while a sanitizer is attached — zero cost otherwise)."""
+        event._origin = _creation_site()
+
+    def on_process_created(self, process: Any) -> None:
+        self._processes.append(process)
+
+    # ------------------------------------------------- stuck-at-drain ledger
+
+    def stuck_ledger(self, env: Any) -> List[StuckWaiter]:
+        """Every live process of ``env`` parked on an event that nothing
+        can trigger any more (the queue holds no producer for it).  Call
+        at drain; entries are sorted so the ledger renders byte-identical
+        across identically seeded runs.  Daemon waiters (a Store.get
+        feeding an idle mover) legitimately appear here — it is
+        :meth:`check_stuck_at_drain`, not this query, that asserts."""
+        scheduled = {id(event) for event in env._queue}
+        entries = []
+        for process in self._processes:
+            if process.env is not env or not process.is_alive:
+                continue
+            target = process._target
+            if target is None or target.triggered:
+                continue
+            if id(target) in scheduled:
+                continue  # a producer (the queue itself) remains
+            entries.append(
+                StuckWaiter(
+                    process=process.name,
+                    origin=getattr(target, "_origin", "<untracked>"),
+                    time_ns=env.now,
+                )
+            )
+        entries.sort(key=lambda e: (e.process, e.origin))
+        return entries
+
+    def check_stuck_at_drain(self, env: Any) -> None:
+        """Assert no orphaned waiters at drain — for workloads known to
+        quiesce completely (regression tests around EVT001-style lost
+        wakeups).  Records one violation per ledger entry."""
+        for entry in self.stuck_ledger(env):
+            self._violate("event.stuck_at_drain", entry.render(), entry.time_ns)
 
     # --------------------------------------------------------- credit hooks
 

@@ -1,0 +1,72 @@
+"""Minimal SARIF 2.1.0 rendering of an :class:`AnalysisResult`.
+
+Just enough of the schema for GitHub code scanning to place inline
+annotations: one ``run`` with a ``tool.driver`` describing every rule in
+the catalogue, one ``result`` per finding, and a ``toolExecutionNotes``
+entry per parse error.  Output is ``json.dumps(..., sort_keys=True)``
+over findings that ``run_paths`` already sorted, so the document is
+byte-stable across runs — CI can diff it.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .analyzer import AnalysisResult
+from .findings import RULE_CATALOG
+
+__all__ = ["render_sarif"]
+
+_TOOL_NAME = "repro-analysis"
+_INFO_URI = "https://github.com/paper-repro/repro/blob/main/DESIGN.md"
+
+
+def render_sarif(result: AnalysisResult) -> str:
+    rules = [
+        {
+            "id": info.code,
+            "shortDescription": {"text": info.summary},
+            "help": {"text": f"fix: {info.fixit}"},
+        }
+        for info in RULE_CATALOG.values()
+    ]
+    results = [
+        {
+            "ruleId": finding.code,
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": finding.path},
+                        "region": {"startLine": finding.line},
+                    }
+                }
+            ],
+        }
+        for finding in result.findings
+    ]
+    invocation = {
+        "executionSuccessful": not result.errors,
+        "toolExecutionNotifications": [
+            {"level": "error", "message": {"text": err}} for err in result.errors
+        ],
+    }
+    doc = {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": _TOOL_NAME,
+                        "informationUri": _INFO_URI,
+                        "rules": rules,
+                    }
+                },
+                "invocations": [invocation],
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(doc, indent=2, sort_keys=True)

@@ -10,6 +10,14 @@ line, for files whose whole purpose is exempt (e.g. a wall-clock CLI).
 Waiver hygiene is itself checked: a waiver without a justification is a
 WAI001 finding and a waiver that suppressed nothing is WAI002, so stale
 escapes cannot silently accumulate as the tree evolves.
+
+A waiver may carry an expiry in its justification —
+``# repro: allow[RULE] until=2026-12-31 reason`` — and once that date
+has passed the waiver *still suppresses* (so one stale date never
+avalanches into every underlying finding at once) but becomes a WAI003
+finding of its own.  Expiry is only evaluated when the caller supplies
+``today``: the CLI passes the wall clock, library callers (and the sim)
+pass nothing and stay clock-free.
 """
 
 from __future__ import annotations
@@ -30,6 +38,12 @@ _WAIVER_RE = re.compile(
     r"[ \t]*(?P<why>.*)$"
 )
 
+#: ``until=YYYY-MM-DD`` anywhere in the justification text.
+_UNTIL_RE = re.compile(r"\buntil=(?P<date>\S+)")
+
+#: The only accepted expiry-date shape (lexicographic compare works).
+_DATE_RE = re.compile(r"\d{4}-\d{2}-\d{2}$")
+
 
 @dataclass
 class Waiver:
@@ -41,6 +55,7 @@ class Waiver:
     justification: str
     file_scope: bool = False
     covers_line: int = 0    # line whose findings it suppresses (0 = whole file)
+    expires: str = ""       # ISO date from ``until=``, "" when undated
     used: bool = field(default=False, compare=False)
 
 
@@ -64,14 +79,17 @@ def parse_waivers(path: str, lines: Sequence[str]) -> List[Waiver]:
         file_scope = match.group("scope") is not None
         before = lines[lineno - 1][: tok.start[1]].strip()
         covers = 0 if file_scope else (lineno if before else lineno + 1)
+        why = match.group("why").strip()
+        until = _UNTIL_RE.search(why)
         waivers.append(
             Waiver(
                 path=path,
                 line=lineno,
                 codes=codes,
-                justification=match.group("why").strip(),
+                justification=why,
                 file_scope=file_scope,
                 covers_line=covers,
+                expires=until.group("date") if until else "",
             )
         )
     return waivers
@@ -102,8 +120,22 @@ class WaiverSet:
                 return True
         return False
 
-    def hygiene_findings(self) -> List[Finding]:
-        """WAI001 (no justification), WAI002 (unused), unknown codes."""
+    def covers(self, line: int, codes) -> bool:
+        """Non-marking query: is any of ``codes`` waived on ``line``?
+
+        Used by interprocedural summaries (RES002) that must consult
+        waivers without claiming them as *used* — a summary probe is not
+        a suppressed finding, and must not mask WAI002.
+        """
+        for waiver in self._by_line.get(line, []) + self._file_scope:
+            if any(code in waiver.codes for code in codes):
+                return True
+        return False
+
+    def hygiene_findings(self, today: str = "") -> List[Finding]:
+        """WAI001 (no justification), WAI002 (unused), unknown codes and —
+        only when the caller supplies ``today`` (ISO date) — WAI003 for
+        expired or unparseable ``until=`` dates."""
         out: List[Finding] = []
         for waiver in self.waivers:
             unknown = [c for c in waiver.codes if not is_known_rule(c)]
@@ -117,7 +149,7 @@ class WaiverSet:
                     )
                 )
                 continue
-            if not waiver.justification:
+            if not _UNTIL_RE.sub("", waiver.justification).strip():
                 out.append(
                     make_finding(
                         self.path,
@@ -135,4 +167,25 @@ class WaiverSet:
                         f"waiver for {', '.join(waiver.codes)} suppressed no finding",
                     )
                 )
+            if today and waiver.expires:
+                if not _DATE_RE.fullmatch(waiver.expires):
+                    out.append(
+                        make_finding(
+                            self.path,
+                            waiver.line,
+                            "WAI003",
+                            f"waiver until={waiver.expires!r} is not a "
+                            "YYYY-MM-DD date",
+                        )
+                    )
+                elif waiver.expires < today:
+                    out.append(
+                        make_finding(
+                            self.path,
+                            waiver.line,
+                            "WAI003",
+                            f"waiver for {', '.join(waiver.codes)} expired on "
+                            f"{waiver.expires}",
+                        )
+                    )
         return out

@@ -35,10 +35,39 @@ from typing import Optional
 
 from .headers import MacAddress
 
-__all__ = ["QpState", "QpEndpoint", "QueuePair", "QpTransitionError", "PSN_MOD"]
+__all__ = [
+    "QpState",
+    "QpEndpoint",
+    "QueuePair",
+    "QpTransitionError",
+    "PSN_MOD",
+    "QP_PROTOCOL",
+    "QP_INITIAL_STATE",
+]
 
 #: PSNs are 24-bit counters.
 PSN_MOD = 1 << 24
+
+#: The declared ``modify_qp`` protocol: method -> (states it may be
+#: called from, state it lands in).  ``"*"`` means any state (IB's
+#: ``*2ERR``/``*2RESET`` arrows); error-state entries on ``to_sq_error``
+#: reflect its idempotent no-op there.  This table is the single
+#: declaration the transition methods below implement and the STM001
+#: analyzer rule reads *statically* (``repro.analysis.rules_protocol``)
+#: to check call sequences across the tree — keep it a pure literal.
+QP_PROTOCOL = {
+    "to_init": (("reset",), "init"),
+    "to_rtr": (("init",), "rtr"),
+    "to_rts": (("rtr",), "rts"),
+    "to_sq_error": (("rts", "sq_error", "error"), "sq_error"),
+    "to_error": (("*",), "error"),
+    "reset": (("*",), "reset"),
+    "connect": (("reset", "init"), "rts"),
+}
+
+#: A freshly constructed :class:`QueuePair` starts in INIT (the
+#: dataclass default below) — what STM001 assumes after ``QueuePair(...)``.
+QP_INITIAL_STATE = "init"
 
 
 class QpState(Enum):

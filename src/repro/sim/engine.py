@@ -106,6 +106,7 @@ class Event:
         "_abandoned",
         "_defused",
         "_recycle",
+        "_origin",
         "_time",
         "_prio",
         "_seq",
@@ -117,6 +118,11 @@ class Event:
         self._value: Any = None
         self._ok: Optional[bool] = None
         self._scheduled = False
+        # Creation-site stamp for the stuck-at-drain ledger: written only
+        # while sanitizing, so the detached cost is one branch.  The
+        # ``_origin`` slot stays unset otherwise (readers getattr it).
+        if env.sanitizer is not None:
+            env.sanitizer.on_event_created(self)
         #: Set when the only waiter was interrupted away; resources skip
         #: abandoned waiters rather than handing them items/grants.
         self._abandoned = False
@@ -238,6 +244,8 @@ class Process(Event):
         self._generator = generator
         self.name = name or getattr(generator, "__name__", "process")
         self._target: Optional[Event] = None
+        if env.sanitizer is not None:
+            env.sanitizer.on_process_created(self)
         # Kick off on the next event-loop iteration (pooled relay).
         env._relay(True, None, self._resume, URGENT)
 

@@ -44,6 +44,11 @@ def collect_card_metrics(driver, registry: MetricsRegistry = None) -> MetricsReg
         # Wall-clock throughput is only knowable while a SimProfiler is
         # attached; report-only (DET001-waived inside the profiler).
         reg.gauge("sim.events_per_sec").set(env.profiler.events_per_sec)
+    if env.sanitizer is not None:
+        # Orphaned waiters visible right now (stuck-at-drain ledger) —
+        # only knowable while the SimSanitizer tracks processes, so the
+        # gauge appears exactly when REPRO_SANITIZE runs do.
+        reg.gauge("sim.stuck_at_drain").set(len(env.sanitizer.stuck_ledger(env)))
 
     # -- pcie: link + XDMA channel groups --------------------------------
     _set_counter(reg, "pcie.h2c_bytes", link.h2c_bytes)

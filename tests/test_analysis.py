@@ -466,3 +466,23 @@ def test_real_tree_is_clean():
         fault_registry=PLAN,
     )
     assert result.ok, result.render()
+
+
+def test_analyzer_runtime_budget():
+    """The whole-repo run — per-module rules plus the interprocedural
+    index — must stay fast enough to sit in every pre-commit loop.  The
+    bound is ~10x the wall clock measured at introduction (about 5s for
+    190 files), so it only trips on an accidental complexity blow-up
+    (e.g. the DLK001 cycle search going super-linear), not on CI noise.
+    """
+    import time
+
+    start = time.perf_counter()
+    result = run_paths(
+        [REPO / "src", REPO / "tests", REPO / "benchmarks"],
+        design_doc=REPO / "DESIGN.md",
+        fault_registry=PLAN,
+    )
+    elapsed = time.perf_counter() - start
+    assert result.files_checked > 100  # the budget covers the real tree
+    assert elapsed < 60.0, f"analyzer took {elapsed:.1f}s on {result.files_checked} files"

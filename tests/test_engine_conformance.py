@@ -257,14 +257,19 @@ def test_double_run_digest_equal_under_sanitizer(seed):
     equivalent: ``activate()`` installs the process-wide instance every
     new Environment picks up)."""
     previous = sanitizer_mod._active
+    previous_var = os.environ.get("REPRO_SANITIZE")
     sanitizer = sanitizer_mod.activate()
     try:
-        os.environ["REPRO_SANITIZE"] = os.environ.get("REPRO_SANITIZE", "1")
+        os.environ["REPRO_SANITIZE"] = previous_var or "1"
         trace_a, log_a, _ = record_trace(seed)
         trace_b, log_b, _ = record_trace(seed)
         assert trace_digest(trace_a, log_a) == trace_digest(trace_b, log_b)
         assert not sanitizer.violations, sanitizer.report()
     finally:
+        # Restore the env var too: leaking it silently turned the rest
+        # of a plain suite run into a sanitized one.
+        if previous_var is None:
+            os.environ.pop("REPRO_SANITIZE", None)
         sanitizer_mod.activate(previous) if previous is not None else (
             sanitizer_mod.deactivate()
         )
@@ -274,8 +279,12 @@ def test_sanitized_run_observes_every_step():
     """The sanitizer hooks must sit on the fast path too (a rewrite that
     skips them under ``run()`` would silently disable REPRO_SANITIZE)."""
     previous = sanitizer_mod._active
+    previous_var = os.environ.get("REPRO_SANITIZE")
     sanitizer = sanitizer_mod.activate()
     try:
+        # The env-var is the switch Environment construction reads; the
+        # activate() above pins which instance it picks up.
+        os.environ["REPRO_SANITIZE"] = previous_var or "1"
         env = Environment()
         assert env.sanitizer is sanitizer
 
@@ -287,6 +296,8 @@ def test_sanitized_run_observes_every_step():
         env.run()
         assert not sanitizer.violations
     finally:
+        if previous_var is None:
+            os.environ.pop("REPRO_SANITIZE", None)
         sanitizer_mod.activate(previous) if previous is not None else (
             sanitizer_mod.deactivate()
         )

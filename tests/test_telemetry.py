@@ -288,6 +288,28 @@ def test_card_report_has_telemetry_section():
     assert "mem" in telemetry and "sim" in telemetry
 
 
+def test_collect_surfaces_stuck_at_drain_gauge():
+    from repro.analysis import SimSanitizer
+
+    driver = run_some_traffic()
+    env = driver.env
+    # Detached, the gauge is absent (it is only knowable while
+    # processes are tracked).
+    env.sanitizer = None
+    assert "stuck_at_drain" not in collect_card_metrics(driver).snapshot()["sim"]
+    # A fresh sanitizer tracks processes from here on, so the shell's
+    # daemon loops (parked on their feed stores) stay out of the count.
+    env.sanitizer = SimSanitizer()
+
+    def orphan():
+        yield env.event()  # no producer: parks forever
+
+    env.process(orphan(), name="orphan")
+    env.run()
+    snap = collect_card_metrics(driver).snapshot()
+    assert snap["sim"]["stuck_at_drain"]["value"] == 1
+
+
 def test_collect_includes_rdma_qp_counters():
     from repro.cluster import FpgaCluster
     from repro.core import ServiceConfig
