@@ -16,6 +16,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import hashlib
 import signal
 import sys
 import time
@@ -35,7 +36,9 @@ from repro.faults import (  # noqa: E402
     APP_HANG,
     LINK_FLAP,
     NET_DROP,
+    NET_ECN_SUPPRESS,
     NET_PARTITION,
+    NET_PAUSE_DROP,
     NODE_CRASH,
     FaultInjector,
     FaultPlan,
@@ -50,12 +53,23 @@ from repro.health import (  # noqa: E402
     HealthConfig,
     HealthMonitor,
     NodeDownError,
+    PfcStormError,
     QuarantinedError,
     RecoveredError,
 )
 from repro.mem import PAGE_4K, AllocType, MmuConfig, TlbConfig  # noqa: E402
 from repro.migrate import LiveMigrator, TransferAbortedError  # noqa: E402
-from repro.net import CollectiveAbortError, RdmaConfig  # noqa: E402
+from repro.net import (  # noqa: E402
+    Cmac,
+    CollectiveAbortError,
+    DcqcnConfig,
+    MacAddress,
+    RdmaConfig,
+    RdmaStack,
+    Switch,
+    SwitchConfig,
+    WrFlushError,
+)
 from repro.sim import AllOf  # noqa: E402
 from repro.synth import (  # noqa: E402
     BuildFlow,
@@ -384,6 +398,172 @@ def run_migration_seed(seed: int) -> dict:
     }
 
 
+def _congestion_pass(seed: int) -> dict:
+    """One deterministic congestion scenario: a DCQCN incast with the
+    control-loop fault sites armed, then a PFC pause storm against a
+    wedged host.  Returns the stats the digest is computed over."""
+    env = Environment()
+    switch = Switch(env, config=SwitchConfig(
+        egress_capacity_bytes=32 << 10,
+        ecn_threshold_bytes=8 << 10,
+        pfc_enabled=True,
+        xoff_bytes=16 << 10,
+        xon_bytes=8 << 10,
+        storm_threshold_ns=150_000.0,
+    ))
+    FaultInjector(FaultPlan(
+        seed=seed,
+        rules=[
+            FaultRule(site=NET_ECN_SUPPRESS, probability=(seed % 4) / 10.0),
+            FaultRule(site=NET_PAUSE_DROP, probability=(seed % 3) / 10.0),
+        ],
+    )).arm(switch=switch)
+    config = RdmaConfig(
+        mtu=1024,
+        retransmit_timeout_ns=100_000.0,
+        dcqcn=DcqcnConfig(
+            enabled=True,
+            min_rate=0.25,
+            alpha_update_ns=5_000.0,
+            rate_increase_ns=20_000.0,
+            additive_increase=0.1,
+            hyper_increase=0.5,
+            cnp_interval_ns=10_000.0,
+        ),
+    )
+
+    def attach(mac_value, ip, name):
+        mac = MacAddress(mac_value)
+        cmac = Cmac(env, name=f"{name}-cmac")
+        switch.attach(mac, cmac)
+        stack = RdmaStack(env, cmac, mac, ip, name=name, config=config)
+
+        def read_local(vaddr, length):
+            yield env.timeout(length / 125.0)
+            return None
+
+        def write_local(vaddr, data, length):
+            yield env.timeout(length / 125.0)
+
+        stack.bind_memory(read_local, write_local)
+        return stack
+
+    nsenders = 4
+    receiver = attach(0x02_0000_0100, 0x0A0000FF, "soak-rx")
+    senders = [
+        attach(0x02_0000_0001 + i, 0x0A000001 + i, f"soak-s{i}")
+        for i in range(nsenders)
+    ]
+    for i, sender in enumerate(senders):
+        qp_s = sender.create_qp(1, psn=0)
+        qp_r = receiver.create_qp(100 + i, psn=0)
+        qp_s.connect(qp_r.local)
+        qp_r.connect(qp_s.local)
+
+    completed = [0] * nsenders
+    flushed = [0] * nsenders
+
+    def sender_proc(i, sender):
+        for _ in range(4):
+            try:
+                yield from sender.rdma_write(1, 0, 0x1000, 32 << 10)
+            except WrFlushError:
+                # Retry exhaustion under armed faults is legal — but it
+                # must surface as the typed flush error, not a hang.
+                flushed[i] += 1
+                return
+            completed[i] += 1
+
+    incast = [env.process(sender_proc(i, s)) for i, s in enumerate(senders)]
+    env.run(AllOf(env, incast))
+    env.run()  # quiesce: retransmit timers parked, queues drained
+
+    # --- phase 2: pause storm against a wedged host ---------------------
+    blaster_mac = MacAddress(0x02_0000_0200)
+    wedged_mac = MacAddress(0x02_0000_0201)
+    blaster = Cmac(env, name="storm-blaster")
+    wedged = Cmac(env, name="storm-wedged", rx_xoff_frames=4, rx_xon_frames=2)
+    switch.attach(blaster_mac, blaster)
+    switch.attach(wedged_mac, wedged)
+    frames = 200
+
+    def storm_blast():
+        from repro.net import BthHeader, RocePacket, RoceOpcode
+        for psn in range(frames):
+            yield from blaster.tx(RocePacket.build(
+                src_mac=blaster_mac, dst_mac=wedged_mac,
+                src_ip=0x0B000001, dst_ip=0x0B000002,
+                bth=BthHeader(opcode=RoceOpcode.SEND_ONLY, dest_qp=9,
+                              psn=psn),
+                payload=b"s" * 1024,
+            ))
+
+    def wedged_consumer():
+        # Drain a handful of frames, then wedge: the rx watermark pause
+        # never lifts and must escalate to a storm verdict.
+        for _ in range(4 + seed % 4):
+            yield from wedged.rx()
+
+    env.process(storm_blast())
+    env.process(wedged_consumer())
+    env.run()  # must quiesce via storm mitigation, not hang
+
+    # --- invariants -----------------------------------------------------
+    for i in range(nsenders):
+        if completed[i] + (1 if flushed[i] else 0) == 0:
+            raise AssertionError(
+                f"seed {seed}: sender {i} neither completed nor flushed"
+            )
+    if sum(completed) == 0:
+        raise AssertionError(f"seed {seed}: incast made no progress")
+    if switch.pfc_storms < 1:
+        raise AssertionError(f"seed {seed}: pause storm went undetected")
+    for err in switch.pfc_storm_errors:
+        if not isinstance(err, PfcStormError):
+            raise AssertionError(
+                f"seed {seed}: storm surfaced as {type(err).__name__}"
+            )
+    if wedged.rx_frames != frames:
+        raise AssertionError(
+            f"seed {seed}: storm mitigation stranded "
+            f"{frames - wedged.rx_frames} frames"
+        )
+    return {
+        "completed": completed,
+        "flushed": flushed,
+        "counters": sorted(switch.counters().items()),
+        "storms": switch.pfc_storms,
+        "cnps": sum(s.stats["cnps_received"] for s in senders),
+        "sim_ns": env.now,
+    }
+
+
+def run_congestion_seed(seed: int) -> dict:
+    """Congestion soak: the scenario must be deterministic — two runs of
+    the same seed digest identically (REPRO_SANITIZE=1 in CI also arms
+    the process-wide SimSanitizer over both runs)."""
+    first = _congestion_pass(seed)
+    second = _congestion_pass(seed)
+
+    def digest(row):
+        return hashlib.sha256(repr(row).encode()).hexdigest()
+
+    if digest(first) != digest(second):
+        raise AssertionError(
+            f"seed {seed}: double-run digest mismatch: "
+            f"{digest(first)[:12]} != {digest(second)[:12]}"
+        )
+    return {
+        "seed": seed,
+        "completed": sum(first["completed"]),
+        "flushed": sum(first["flushed"]),
+        "storms": first["storms"],
+        "cnps": first["cnps"],
+        "digest": digest(first)[:12],
+        "sim_ns": first["sim_ns"],
+    }
+
+
 def _soak(name, fn, seeds, timeout, render) -> int:
     failures = 0
     for seed in range(seeds):
@@ -421,10 +601,24 @@ def main(argv=None) -> int:
                         help="skip the rolling-upgrade migration scenario")
     parser.add_argument("--only-migration", action="store_true",
                         help="run only the rolling-upgrade migration scenario")
+    parser.add_argument("--skip-congestion", action="store_true",
+                        help="skip the incast/PFC-storm congestion scenario")
+    parser.add_argument("--only-congestion", action="store_true",
+                        help="run only the incast/PFC-storm congestion "
+                             "scenario")
     args = parser.parse_args(argv)
 
     signal.signal(signal.SIGALRM, _alarm)
     failures = 0
+    if args.only_congestion:
+        return 1 if _soak(
+            "congestion", run_congestion_seed, args.seeds, args.timeout,
+            lambda row: (
+                f"completed={row['completed']} flushed={row['flushed']} "
+                f"storms={row['storms']} cnps={row['cnps']} "
+                f"digest={row['digest']}"
+            ),
+        ) else 0
     if not args.only_migration:
         failures += _soak(
             "card", run_seed, args.seeds, args.timeout,
@@ -446,6 +640,15 @@ def main(argv=None) -> int:
                 f"migrations={row['migrations']} aborts={row['aborts']} "
                 f"drops={row['drops']} transplants={row['transplants']} "
                 f"max_pause={row['max_pause']:.0f}ns"
+            ),
+        )
+    if not args.only_migration and not args.skip_congestion:
+        failures += _soak(
+            "congestion", run_congestion_seed, args.seeds, args.timeout,
+            lambda row: (
+                f"completed={row['completed']} flushed={row['flushed']} "
+                f"storms={row['storms']} cnps={row['cnps']} "
+                f"digest={row['digest']}"
             ),
         )
     return 1 if failures else 0

@@ -13,6 +13,9 @@ percentiles, simulated time and host wall time:
 * ``scheduler_churn``   -- AppScheduler serving alternating kernels, measuring
                            queue wait and reconfiguration overhead; also runs
                            under ``SimProfiler`` to capture simulator hot paths.
+* ``net_incast``        -- N-to-1 RDMA incast with DCQCN on vs off; gates the
+                           collapse-avoidance ratio and fairness, and emits
+                           both congestion trajectories to ``BENCH_NET.json``.
 
 Usage::
 
@@ -44,6 +47,16 @@ from repro.core import ServiceConfig, Shell, ShellConfig  # noqa: E402
 from repro.driver import Driver, RingOp, RingOpcode  # noqa: E402
 from repro.experiments.macrobench import multitenant_ecb_rates  # noqa: E402
 from repro.experiments.microbench import hbm_throughput  # noqa: E402
+from repro.net import (  # noqa: E402
+    CMAC_BANDWIDTH,
+    Cmac,
+    DcqcnConfig,
+    MacAddress,
+    RdmaStack,
+    Switch,
+    SwitchConfig,
+)
+from repro.net import RdmaConfig as NetRdmaConfig  # noqa: E402
 from repro.sim import AllOf, LatencyStats  # noqa: E402
 from repro.synth import (  # noqa: E402
     BuildFlow,
@@ -431,6 +444,190 @@ def bench_ring_submit(quick: bool) -> Dict[str, Any]:
     )
 
 
+#: Collapse-avoidance bounds asserted here and by ``validate_results``.
+#: At the incast collapse point DCQCN-on must sustain at least this
+#: multiple of DCQCN-off's goodput (measured headroom ~4.3x full /
+#: ~3.2x quick), and its Jain fairness index must stay above the
+#: fairness floor (measured ~0.95 full / ~0.99 quick; DCQCN-off sits
+#: near 0.2-0.4 because go-back-N retry lotteries starve victim flows).
+NET_COLLAPSE_RATIO_BOUND = 2.0
+NET_FAIRNESS_BOUND = 0.85
+
+BENCH_NET_OUT = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_NET.json"
+)
+
+
+def _run_incast(nsenders, dcqcn, horizon_ns, *, msg_bytes=64 << 10,
+                sample_ns=50_000.0):
+    """One N-to-1 incast pass; returns goodput + congestion trajectory.
+
+    All senders stream fixed-size RDMA WRITEs at a single receiver
+    through one switch whose receiver-facing egress queue is the
+    bottleneck.  1 KB MTU against a 32 KB buffer reproduces the classic
+    collapse: with no rate control the synchronized windows overrun the
+    queue, go-back-N retransmissions waste the drained bytes and tail
+    losses strand flows in RTO, so goodput collapses and whichever
+    flows win the retry lottery starve the rest.
+    """
+    env = Environment()
+    switch = Switch(env, config=SwitchConfig(
+        egress_capacity_bytes=32 << 10,
+        ecn_threshold_bytes=8 << 10,
+    ))
+    cfg = NetRdmaConfig(
+        mtu=1024,
+        retransmit_timeout_ns=100_000.0,
+        dcqcn=dcqcn,
+    )
+    def attach(mac_value, ip, name):
+        mac = MacAddress(mac_value)
+        cmac = Cmac(env, name=f"{name}-cmac")
+        switch.attach(mac, cmac)
+        stack = RdmaStack(env, cmac, mac, ip, name=name, config=cfg)
+
+        def read_local(vaddr, length):
+            yield env.timeout(length / 125.0)
+            return None
+
+        def write_local(vaddr, data, length):
+            yield env.timeout(length / 125.0)
+
+        stack.bind_memory(read_local, write_local)
+        return stack
+
+    receiver = attach(0x02_0000_0100, 0x0A0000FF, "incast-rx")
+    senders = [
+        attach(0x02_0000_0001 + i, 0x0A000001 + i, f"incast-s{i}")
+        for i in range(nsenders)
+    ]
+    for i, sender in enumerate(senders):
+        qp_s = sender.create_qp(1, psn=0)
+        qp_r = receiver.create_qp(100 + i, psn=0)
+        qp_s.connect(qp_r.local)
+        qp_r.connect(qp_s.local)
+
+    goodput = [0] * nsenders
+
+    def sender_proc(i, sender):
+        while env.now < horizon_ns:
+            try:
+                yield from sender.rdma_write(1, 0, 0x1000, msg_bytes)
+            except Exception:
+                return  # retry exhaustion flushed the QP: flow is dead
+            goodput[i] += msg_bytes
+
+    for i, sender in enumerate(senders):
+        env.process(sender_proc(i, sender), name=f"incast-sender-{i}")
+
+    trajectory = []
+
+    def monitor():
+        ports = switch.egress_ports()
+        while env.now < horizon_ns:
+            yield env.timeout(sample_ns)
+            counters = switch.counters()
+            rates = [s.qp_rates[1].current_rate for s in senders
+                     if 1 in s.qp_rates]
+            trajectory.append({
+                "t_ns": env.now,
+                "queue_bytes": max(p.queued_bytes for _, p in ports),
+                "tail_drops": counters["tail_drops"],
+                "ecn_marks": counters["ecn_marks"],
+                "goodput_bytes": sum(goodput),
+                "sum_rate_gbps": sum(rates) * 8.0,
+            })
+
+    env.process(monitor(), name="incast-monitor")
+    env.run(until=horizon_ns)
+
+    total = sum(goodput)
+    jain = (total * total / (nsenders * sum(g * g for g in goodput))
+            if total else 0.0)
+    counters = switch.counters()
+    return {
+        "goodput_bytes": total,
+        "goodput_gbps": total * 8.0 / horizon_ns,
+        "per_flow_bytes": list(goodput),
+        "jain_fairness": jain,
+        "tail_drops": counters["tail_drops"],
+        "ecn_marks": counters["ecn_marks"],
+        "cnps_received": sum(s.stats["cnps_received"] for s in senders),
+        "dead_flows": sum(1 for g in goodput if g == 0),
+        "trajectory": trajectory,
+    }
+
+
+def bench_net_incast(quick: bool) -> Dict[str, Any]:
+    """N-to-1 incast with and without DCQCN: the collapse-avoidance gate.
+
+    DCQCN-off is the collapse point; DCQCN-on must hold at least
+    ``NET_COLLAPSE_RATIO_BOUND`` times its goodput with Jain fairness
+    above ``NET_FAIRNESS_BOUND``.  Both trajectories (queue depth,
+    drops, marks, aggregate rate over time) land in ``BENCH_NET.json``.
+    """
+    nsenders = 8 if quick else 16
+    horizon_ns = 800_000.0 if quick else 2_000_000.0
+    dcqcn_params = dict(
+        min_rate=0.25,
+        alpha_update_ns=5_000.0,
+        rate_increase_ns=20_000.0,
+        additive_increase=0.1,
+        hyper_increase=0.5,
+        cnp_interval_ns=10_000.0,
+        initial_rate=CMAC_BANDWIDTH / 8.0,
+    )
+    t0 = time.perf_counter()
+    off = _run_incast(nsenders, DcqcnConfig(enabled=False), horizon_ns)
+    on = _run_incast(
+        nsenders, DcqcnConfig(enabled=True, **dcqcn_params), horizon_ns
+    )
+    wall = time.perf_counter() - t0
+    ratio = on["goodput_bytes"] / max(off["goodput_bytes"], 1)
+    assert ratio >= NET_COLLAPSE_RATIO_BOUND, (
+        f"DCQCN must avoid the incast collapse: on/off goodput ratio "
+        f"{ratio:.2f} below the bound {NET_COLLAPSE_RATIO_BOUND}"
+    )
+    assert on["jain_fairness"] >= NET_FAIRNESS_BOUND, (
+        f"DCQCN-on fairness {on['jain_fairness']:.3f} below the bound "
+        f"{NET_FAIRNESS_BOUND}"
+    )
+    net_out = os.path.abspath(BENCH_NET_OUT)
+    with open(net_out, "w") as fh:
+        json.dump({
+            "schema_version": 1,
+            "suite": "net_incast",
+            "quick": quick,
+            "senders": nsenders,
+            "horizon_ns": horizon_ns,
+            "dcqcn_params": dcqcn_params,
+            "collapse_ratio": ratio,
+            "runs": {"dcqcn_off": off, "dcqcn_on": on},
+        }, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    detail = {
+        "senders": nsenders,
+        "horizon_ns": horizon_ns,
+        "collapse_ratio": ratio,
+        "collapse_ratio_bound": NET_COLLAPSE_RATIO_BOUND,
+        "jain_on": on["jain_fairness"],
+        "jain_off": off["jain_fairness"],
+        "jain_bound": NET_FAIRNESS_BOUND,
+        "goodput_on_gbps": on["goodput_gbps"],
+        "goodput_off_gbps": off["goodput_gbps"],
+        "tail_drops_on": on["tail_drops"],
+        "tail_drops_off": off["tail_drops"],
+        "trajectory_file": net_out,
+    }
+    return _workload(
+        "net_incast",
+        throughput_gbps=on["goodput_gbps"],
+        sim_time_ns=2 * horizon_ns,
+        wall_time_s=wall,
+        detail=detail,
+    )
+
+
 WORKLOADS = [
     bench_hbm_scaling,
     bench_rdma_msgsize,
@@ -438,6 +635,7 @@ WORKLOADS = [
     bench_scheduler_churn,
     bench_engine_events,
     bench_ring_submit,
+    bench_net_incast,
 ]
 
 
@@ -546,6 +744,23 @@ def validate_results(results: Dict[str, Any]) -> List[str]:
             eps = wl["detail"].get("events_per_sec")
             expect(isinstance(eps, (int, float)) and eps > 0,
                    f"{where}.detail.events_per_sec must be a positive number")
+        if wl.get("name") == "net_incast" and isinstance(wl.get("detail"), dict):
+            detail = wl["detail"]
+            ratio = detail.get("collapse_ratio")
+            expect(isinstance(ratio, (int, float)) and ratio > 0,
+                   f"{where}.detail.collapse_ratio must be a positive number")
+            if isinstance(ratio, (int, float)):
+                expect(ratio >= NET_COLLAPSE_RATIO_BOUND,
+                       f"{where} DCQCN on/off goodput ratio {ratio} below "
+                       f"the collapse-avoidance bound "
+                       f"{NET_COLLAPSE_RATIO_BOUND}")
+            jain = detail.get("jain_on")
+            expect(isinstance(jain, (int, float)) and 0 < jain <= 1.0,
+                   f"{where}.detail.jain_on must be in (0, 1]")
+            if isinstance(jain, (int, float)):
+                expect(jain >= NET_FAIRNESS_BOUND,
+                       f"{where} DCQCN-on Jain fairness {jain} below the "
+                       f"bound {NET_FAIRNESS_BOUND}")
     names = [wl.get("name") for wl in workloads or [] if isinstance(wl, dict)]
     expect(len(names) == len(set(names)), "workload names must be unique")
     return errors

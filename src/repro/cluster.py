@@ -52,11 +52,15 @@ class FpgaCluster:
         num_vfpgas: int = 1,
         vfpga: VFpgaConfig = VFpgaConfig(),
         device: str = "u55c",
+        fabric=None,
     ):
         if num_nodes < 1:
             raise ValueError("cluster needs at least one node")
         self.env = env
-        self.switch = Switch(env)
+        #: The fabric: a single :class:`Switch` by default, or any object
+        #: with the same surface — e.g. a pre-built
+        #: :class:`repro.net.topology.LeafSpineTopology`.
+        self.switch = fabric if fabric is not None else Switch(env)
         if services is None:
             services = ServiceConfig(en_memory=True, en_rdma=True)
         self.services = services
@@ -87,6 +91,10 @@ class FpgaCluster:
         # A seeded ``node.crash`` in the fabric takes the whole node down,
         # not just its port.
         self.switch.on_node_crash = self._on_node_crash
+        # PFC storms surface in the maintenance audit trail: operators see
+        # the typed error, not a mysteriously slow fabric.
+        self.switch.on_pfc_storm = self._on_pfc_storm
+        self.pfc_storms = 0
         #: Attached :class:`repro.health.ClusterMonitor`, or ``None``.
         self.monitor = None
         #: Live :class:`repro.net.collectives.CollectiveGroup`\ s built via
@@ -114,6 +122,12 @@ class FpgaCluster:
         return self.nodes[index]
 
     # ------------------------------------------------------- fault tolerance
+
+    def _on_pfc_storm(self, err: Exception) -> None:
+        self.pfc_storms += 1
+        self.admin_log.append((self.env.now, "pfc_storm", -1, str(err)))
+        if self.monitor is not None:
+            self.monitor.record_admin_event("pfc_storm", -1, str(err))
 
     def _on_node_crash(self, mac: MacAddress) -> None:
         node = self._by_mac.get(mac)

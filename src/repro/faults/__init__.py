@@ -29,7 +29,9 @@ from .plan import (
     NET_CORRUPT,
     NET_DROP,
     NET_DUPLICATE,
+    NET_ECN_SUPPRESS,
     NET_PARTITION,
+    NET_PAUSE_DROP,
     NET_REORDER,
     NODE_CRASH,
     PCIE_REPLAY,
@@ -61,5 +63,7 @@ __all__ = [
     "NODE_CRASH",
     "LINK_FLAP",
     "NET_PARTITION",
+    "NET_ECN_SUPPRESS",
+    "NET_PAUSE_DROP",
     "RING_DOORBELL_DROP",
 ]

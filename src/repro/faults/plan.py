@@ -30,6 +30,8 @@ site                models
 ``node.crash``      a whole node dies: port killed, every QP flushed
 ``link.flap``       a port's link drops and auto-recovers after a hold-off
 ``net.partition``   a port pair stops exchanging frames until healed
+``net.ecn_suppress``  an owed ECN CE mark is silently skipped
+``net.pause_drop``  a PFC pause frame is lost on its way upstream
 ==================  =====================================================
 
 The two ``app.*`` sites model *misbehaving tenants* rather than hardware
@@ -76,6 +78,8 @@ __all__ = [
     "LINK_FLAP",
     "NET_PARTITION",
     "MIGRATE_TRANSFER_DROP",
+    "NET_ECN_SUPPRESS",
+    "NET_PAUSE_DROP",
 ]
 
 NET_DROP = "net.drop"
@@ -94,6 +98,8 @@ NODE_CRASH = "node.crash"
 LINK_FLAP = "link.flap"
 NET_PARTITION = "net.partition"
 MIGRATE_TRANSFER_DROP = "migrate.transfer_drop"
+NET_ECN_SUPPRESS = "net.ecn_suppress"
+NET_PAUSE_DROP = "net.pause_drop"
 
 #: The registry proper: ``site -> (owning model, effect when fired)``.
 #: This single dict feeds three consumers that previously drifted apart:
@@ -152,6 +158,14 @@ FAULT_SITE_DOCS = {
     MIGRATE_TRANSFER_DROP: (
         "migrate.transfer.MigrationChannel",
         "a checkpoint chunk is dropped in flight; the sender retries with backoff and falls back to the source node when retries exhaust",
+    ),
+    NET_ECN_SUPPRESS: (
+        "net.switch.Switch",
+        "a CE mark the egress queue owed this ECT frame is suppressed; the DCQCN loop sees no congestion signal",
+    ),
+    NET_PAUSE_DROP: (
+        "net.switch.Switch",
+        "a PFC XOFF pause frame is lost on its way upstream; the sender keeps transmitting into the full buffer",
     ),
 }
 

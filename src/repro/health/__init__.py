@@ -20,6 +20,7 @@ from .errors import (
     DecoupledError,
     HealthError,
     NodeDownError,
+    PfcStormError,
     QuarantinedError,
     RecoveredError,
 )
@@ -42,6 +43,7 @@ __all__ = [
     "DecoupledError",
     "AdmissionError",
     "NodeDownError",
+    "PfcStormError",
     "ClusterMonitor",
     "ClusterHealthConfig",
     "health_section",

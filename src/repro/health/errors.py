@@ -14,6 +14,7 @@ __all__ = [
     "DecoupledError",
     "AdmissionError",
     "NodeDownError",
+    "PfcStormError",
 ]
 
 
@@ -63,6 +64,25 @@ class NodeDownError(HealthError):
         super().__init__(f"node {node_index} is down ({reason})")
         self.node_index = node_index
         self.reason = reason
+
+
+class PfcStormError(HealthError):
+    """A PFC pause storm: a port stayed continuously paused past the
+    switch's storm threshold — the classic priority-flow-control deadlock
+    shape (a wedged receiver backpressures the fabric, the fabric
+    backpressures every sender).  The switch's watchdog detects it,
+    records this typed error, and *breaks* the pause (storm mitigation:
+    PFC is muted on the offending port) so the simulation drains instead
+    of hanging; senders parked on the paused MAC receive this error."""
+
+    def __init__(self, port: str, paused_ns: float, threshold_ns: float):
+        super().__init__(
+            f"PFC pause storm on port {port}: continuously paused "
+            f"{paused_ns:.0f} ns (threshold {threshold_ns:.0f} ns)"
+        )
+        self.port = port
+        self.paused_ns = paused_ns
+        self.threshold_ns = threshold_ns
 
 
 class AdmissionError(HealthError):

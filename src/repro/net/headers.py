@@ -28,12 +28,22 @@ __all__ = [
     "ROCE_UDP_PORT",
     "ETHERTYPE_IPV4",
     "IP_PROTO_UDP",
+    "ECN_NOT_ECT",
+    "ECN_ECT0",
+    "ECN_ECT1",
+    "ECN_CE",
     "icrc32",
 ]
 
 ROCE_UDP_PORT = 4791
 ETHERTYPE_IPV4 = 0x0800
 IP_PROTO_UDP = 17
+
+# RFC 3168 ECN codepoints (the low two bits of the IPv4 TOS byte).
+ECN_NOT_ECT = 0  # not ECN-capable transport
+ECN_ECT1 = 1
+ECN_ECT0 = 2  # what DCQCN-enabled senders mark their data packets with
+ECN_CE = 3  # Congestion Experienced: set by the switch above threshold
 
 
 class MacAddress:
@@ -104,7 +114,14 @@ def _ipv4_checksum(header: bytes) -> int:
 
 @dataclass
 class Ipv4Header:
-    """20-byte IPv4 header (no options) with a real checksum."""
+    """20-byte IPv4 header (no options) with a real checksum.
+
+    The second byte carries DSCP in its upper six bits and ECN in the
+    lower two (RFC 3168): ``0`` not-ECT, ``1``/``2`` ECT(1)/ECT(0), ``3``
+    Congestion Experienced.  DCQCN rides on this field — the switch CE-marks
+    ECT packets above its queue threshold and the responder answers with
+    CNPs — so both bits round-trip through serialisation.
+    """
 
     src: int  # 32-bit addresses as ints
     dst: int
@@ -112,6 +129,7 @@ class Ipv4Header:
     protocol: int = IP_PROTO_UDP
     ttl: int = 64
     dscp: int = 0
+    ecn: int = ECN_NOT_ECT
     identification: int = 0
 
     SIZE = 20
@@ -120,7 +138,7 @@ class Ipv4Header:
         head = struct.pack(
             "!BBHHHBBH4s4s",
             (4 << 4) | 5,  # version 4, IHL 5
-            self.dscp << 2,
+            ((self.dscp & 0x3F) << 2) | (self.ecn & 0x3),
             self.total_length,
             self.identification,
             0x4000,  # DF
@@ -151,6 +169,7 @@ class Ipv4Header:
             protocol=proto,
             ttl=ttl,
             dscp=dscp_ecn >> 2,
+            ecn=dscp_ecn & 0x3,
             identification=ident,
         )
 
@@ -197,6 +216,10 @@ class RoceOpcode:
     ATOMIC_ACKNOWLEDGE = 0x12
     COMPARE_SWAP = 0x13
     FETCH_ADD = 0x14
+    # RoCE v2 Congestion Notification Packet (Annex A17): BTH-only frame
+    # the responder returns to the requester when it receives CE-marked
+    # traffic; the requester's DCQCN rate limiter reacts to it.
+    CNP = 0x81
 
     _NAMES = {}
 

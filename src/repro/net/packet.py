@@ -101,10 +101,11 @@ class RocePacket:
         payload: Optional[bytes] = None,
         payload_length: int = 0,
         src_port: int = 49152,
+        ecn: int = 0,
     ) -> "RocePacket":
         pkt = cls(
             eth=EthernetHeader(dst=dst_mac, src=src_mac),
-            ip=Ipv4Header(src=src_ip, dst=dst_ip, total_length=0),
+            ip=Ipv4Header(src=src_ip, dst=dst_ip, total_length=0, ecn=ecn),
             udp=UdpHeader(src_port=src_port, dst_port=ROCE_UDP_PORT, length=0),
             bth=bth,
             reth=reth,

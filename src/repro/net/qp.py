@@ -40,6 +40,7 @@ __all__ = [
     "QpEndpoint",
     "QueuePair",
     "QpTransitionError",
+    "DcqcnState",
     "PSN_MOD",
     "QP_PROTOCOL",
     "QP_INITIAL_STATE",
@@ -197,3 +198,121 @@ class QueuePair:
     def outstanding(self) -> int:
         """Number of sent-but-unacked packets (modulo arithmetic)."""
         return (self.sq_psn - (self.acked_psn + 1)) % PSN_MOD
+
+
+@dataclass
+class DcqcnState:
+    """Per-QP DCQCN rate-control state (the reaction point, RP).
+
+    The DCQCN loop (Zhu et al., SIGCOMM'15) as the stack runs it:
+
+    * The congestion point (a switch egress queue) CE-marks ECT frames
+      above its threshold.
+    * The notification point (the responder) answers marked arrivals
+      with CNPs, rate-limited to one per QP per ``cnp_interval_ns``.
+    * This state — the reaction point — cuts the send rate
+      multiplicatively on each CNP and recovers in the standard three
+      phases (fast recovery toward the pre-cut target, then additive,
+      then hyper increase) while the QP stays CNP-free.
+
+    All bookkeeping is *lazy*: there are no timer processes.  ``advance``
+    replays any alpha-decay and rate-increase periods that elapsed since
+    the last call, so idle QPs cost nothing and the simulation stays
+    deterministic.  Rates are in bytes/ns (= GB/s); pacing reserves the
+    next transmit slot via ``pacing_gap``.
+    """
+
+    #: Uncut line rate (bytes/ns); also the recovery ceiling.
+    line_rate: float
+    #: Floor the multiplicative decrease never cuts below.
+    min_rate: float
+    #: EWMA gain for the congestion-extent estimate alpha.
+    alpha_g: float
+    #: Alpha decays once per this period without a CNP.
+    alpha_update_ns: float
+    #: Rate-increase round length.
+    rate_increase_ns: float
+    #: Rounds of fast recovery before additive increase starts.
+    fast_recovery_rounds: int
+    #: Additive-increase step (bytes/ns per round).
+    additive_increase: float
+    #: Hyper-increase step (bytes/ns per round) once additive converges.
+    hyper_increase: float
+    #: Rate a fresh QP starts at (hardware RPs expose this as the RPG
+    #: initial rate); ``0`` means start at line rate.
+    initial_rate: float = 0.0
+    current_rate: float = 0.0
+    target_rate: float = 0.0
+    alpha: float = 1.0
+    cnps: int = 0  # CNPs absorbed (telemetry)
+    _last_alpha_update: float = 0.0
+    _last_increase: float = 0.0
+    _increase_rounds: int = 0
+    _next_tx: float = 0.0
+    _last_paced: float = 0.0
+
+    def __post_init__(self) -> None:
+        start = self.initial_rate if self.initial_rate > 0.0 else self.line_rate
+        if self.current_rate <= 0.0:
+            self.current_rate = start
+        if self.target_rate <= 0.0:
+            self.target_rate = start
+
+    def on_cnp(self, now: float) -> None:
+        """Multiplicative decrease: a CNP arrived for this QP."""
+        self.cnps += 1
+        self.advance(now)
+        self.target_rate = self.current_rate
+        self.current_rate = max(
+            self.min_rate, self.current_rate * (1.0 - self.alpha / 2.0)
+        )
+        self.alpha = (1.0 - self.alpha_g) * self.alpha + self.alpha_g
+        self._last_alpha_update = now
+        self._last_increase = now
+        self._increase_rounds = 0
+
+    def advance(self, now: float) -> None:
+        """Replay elapsed alpha-decay and rate-increase periods."""
+        while now - self._last_alpha_update >= self.alpha_update_ns:
+            self.alpha *= 1.0 - self.alpha_g
+            self._last_alpha_update += self.alpha_update_ns
+        while now - self._last_increase >= self.rate_increase_ns:
+            self._last_increase += self.rate_increase_ns
+            self._increase_rounds += 1
+            if self._increase_rounds <= self.fast_recovery_rounds:
+                # Fast recovery: binary-search back toward the target.
+                self.current_rate = (self.current_rate + self.target_rate) / 2.0
+            elif self._increase_rounds <= 2 * self.fast_recovery_rounds:
+                self.target_rate = min(
+                    self.line_rate, self.target_rate + self.additive_increase
+                )
+                self.current_rate = (self.current_rate + self.target_rate) / 2.0
+            else:
+                self.target_rate = min(
+                    self.line_rate, self.target_rate + self.hyper_increase
+                )
+                self.current_rate = (self.current_rate + self.target_rate) / 2.0
+            if self.current_rate > self.line_rate:
+                self.current_rate = self.line_rate
+
+    def pacing_gap(self, now: float, wire_bytes: int) -> float:
+        """Reserve the next transmit slot; returns how long to hold this
+        frame so the paced rate never exceeds ``current_rate``."""
+        # Recovery is tied to *active transmission* (the paper's byte
+        # counter): a flow stalled in retransmission or idle between
+        # messages earns at most one increase round for the whole gap,
+        # else it would resume with a fully recovered rate and re-burst
+        # the very queue that cut it (the DCQCN restart problem).
+        idle = now - self._last_paced
+        if idle > self.rate_increase_ns:
+            floor = now - self.rate_increase_ns
+            if self._last_increase < floor:
+                self._last_increase = floor
+            if self._last_alpha_update < floor:
+                self._last_alpha_update = floor
+        self._last_paced = now
+        self.advance(now)
+        gap = self._next_tx - now
+        start = now if gap <= 0.0 else self._next_tx
+        self._next_tx = start + wire_bytes / self.current_rate
+        return gap if gap > 0.0 else 0.0

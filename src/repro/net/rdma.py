@@ -18,19 +18,42 @@ from typing import Callable, Dict, Generator, List, Optional, Tuple
 
 from ..sim.engine import Environment, Event
 from ..sim.resources import Container, Store
-from .cmac import Cmac
-from .headers import AethHeader, BthHeader, MacAddress, RethHeader, RoceOpcode
+from .cmac import CMAC_BANDWIDTH, FRAME_OVERHEAD_BYTES, Cmac
+from .headers import (
+    ECN_CE,
+    ECN_ECT0,
+    ECN_NOT_ECT,
+    AethHeader,
+    BthHeader,
+    MacAddress,
+    RethHeader,
+    RoceOpcode,
+)
 from .packet import RocePacket
-from .qp import PSN_MOD, QpEndpoint, QpState, QueuePair
+from .qp import PSN_MOD, DcqcnState, QpEndpoint, QpState, QueuePair
 
 __all__ = [
     "RdmaConfig",
+    "DcqcnConfig",
     "RdmaStack",
     "Completion",
     "RdmaError",
     "QpStateError",
     "WrFlushError",
 ]
+
+#: Lazily resolved ``repro.health.PfcStormError`` — the health package
+#: imports this module at init, so the reverse import must be deferred.
+_PFC_STORM_ERROR = None
+
+
+def _pfc_storm_error():
+    global _PFC_STORM_ERROR
+    if _PFC_STORM_ERROR is None:
+        from ..health.errors import PfcStormError
+
+        _PFC_STORM_ERROR = PfcStormError
+    return _PFC_STORM_ERROR
 
 
 class RdmaError(Exception):
@@ -70,6 +93,56 @@ def psn_leq(a: int, b: int) -> bool:
 
 
 @dataclass(frozen=True)
+class DcqcnConfig:
+    """DCQCN (RoCE congestion control) endpoint parameters.
+
+    Off by default: uncongested workloads pay nothing.  When enabled,
+    data packets leave ECT(0)-marked, CE-marked arrivals are answered
+    with per-QP rate-limited CNPs, and each QP paces its transmissions
+    through a :class:`~repro.net.qp.DcqcnState` rate limiter.  Rates are
+    bytes/ns; timing defaults follow the DCQCN paper's 55 µs timers
+    scaled to the simulated 100G link.
+    """
+
+    enabled: bool = False
+    #: Uncut rate (bytes/ns): the 100G line by default.
+    line_rate: float = CMAC_BANDWIDTH
+    #: Floor under multiplicative decrease (1 Gbit/s here).
+    min_rate: float = 0.125
+    #: EWMA gain for the congestion estimate alpha.
+    alpha_g: float = 1.0 / 16.0
+    #: Alpha decays once per this period without CNPs.
+    alpha_update_ns: float = 55_000.0
+    #: Rate-increase round length.
+    rate_increase_ns: float = 55_000.0
+    #: Fast-recovery rounds before additive increase.
+    fast_recovery_rounds: int = 5
+    #: Additive / hyper increase steps (bytes/ns per round): the DCQCN
+    #: paper's 40 / 400 Mbit/s — gentle enough that the CNP cadence can
+    #: hold the aggregate near the bottleneck rate.
+    additive_increase: float = 0.005
+    hyper_increase: float = 0.05
+    #: Per-QP minimum spacing between generated CNPs.
+    cnp_interval_ns: float = 50_000.0
+    #: Rate a fresh QP starts at (the RPG initial rate knob hardware
+    #: reaction points expose); ``0`` means start at line rate.
+    initial_rate: float = 0.0
+
+    def make_state(self) -> DcqcnState:
+        return DcqcnState(
+            line_rate=self.line_rate,
+            min_rate=self.min_rate,
+            alpha_g=self.alpha_g,
+            alpha_update_ns=self.alpha_update_ns,
+            rate_increase_ns=self.rate_increase_ns,
+            fast_recovery_rounds=self.fast_recovery_rounds,
+            additive_increase=self.additive_increase,
+            hyper_increase=self.hyper_increase,
+            initial_rate=self.initial_rate,
+        )
+
+
+@dataclass(frozen=True)
 class RdmaConfig:
     """Stack parameters; MTU 4096 is the RoCE maximum and Coyote's default."""
 
@@ -78,6 +151,7 @@ class RdmaConfig:
     retransmit_timeout_ns: float = 100_000.0
     per_packet_processing_ns: float = 30.0  # stack pipeline occupancy
     max_retries: int = 8
+    dcqcn: DcqcnConfig = DcqcnConfig()
 
 
 @dataclass
@@ -162,6 +236,10 @@ class RdmaStack:
         self._retry_counts: Dict[int, int] = {}
         #: True after :meth:`halt` — the whole stack is down (node crash).
         self.halted = False
+        #: Per-QP DCQCN reaction-point state (populated by ``create_qp``
+        #: when ``config.dcqcn.enabled``).
+        self.qp_rates: Dict[int, DcqcnState] = {}
+        self._cnp_last_sent: Dict[int, float] = {}
         self.stats = {
             "tx_packets": 0,
             "rx_packets": 0,
@@ -171,6 +249,10 @@ class RdmaStack:
             "acks_sent": 0,
             "qp_errors": 0,
             "wr_flushes": 0,
+            "ecn_ce_received": 0,
+            "cnps_sent": 0,
+            "cnps_received": 0,
+            "pfc_storm_drops": 0,
         }
         #: Per-QP telemetry: completed verbs and payload bytes, the
         #: simulation's per-QP statistics registers.
@@ -228,6 +310,8 @@ class RdmaStack:
         self._retry_counts[qpn] = 0
         self._last_progress[qpn] = self.env.now
         self.qp_stats[qpn] = {"ops": 0, "bytes": 0}
+        if self.config.dcqcn.enabled:
+            self.qp_rates[qpn] = self.config.dcqcn.make_state()
         return qp
 
     # --------------------------------------------------- QP error machinery
@@ -299,6 +383,10 @@ class RdmaStack:
         self._retry_counts[qpn] = 0
         self._last_progress[qpn] = self.env.now
         self._recv_queues[qpn].items.clear()
+        if qpn in self.qp_rates:
+            # A re-connecting QP starts its congestion history over.
+            self.qp_rates[qpn] = self.config.dcqcn.make_state()
+        self._cnp_last_sent.pop(qpn, None)
         return qp
 
     def destroy_qp(self, qpn: int) -> None:
@@ -316,6 +404,8 @@ class RdmaStack:
         self._last_progress.pop(qpn, None)
         self._read_collect.pop(qpn, None)
         self._atomic_pending.pop(qpn, None)
+        self.qp_rates.pop(qpn, None)
+        self._cnp_last_sent.pop(qpn, None)
 
     def halt(self, reason: str = "node down") -> int:
         """Take the whole stack down (node crash): every QP to ERROR with
@@ -356,11 +446,35 @@ class RdmaStack:
             return [0]
         return [min(mtu, length - off) for off in range(0, length, mtu)]
 
-    def _send_packet(self, packet: RocePacket) -> Generator:
+    def _flow_port(self, qpn: int) -> int:
+        """UDP source port carrying the flow's ECMP entropy: the RoCE v2
+        convention of a per-QP value in the dynamic range, so a QP's
+        packets always hash onto one fabric path (order-preserving)."""
+        return 0xC000 | (qpn & 0x3FFF)
+
+    def _data_ecn(self) -> int:
+        """IP ECN codepoint for data packets: ECT(0) announces DCQCN."""
+        return ECN_ECT0 if self.config.dcqcn.enabled else ECN_NOT_ECT
+
+    def _send_packet(self, packet: RocePacket, qpn: Optional[int] = None) -> Generator:
+        state = self.qp_rates.get(qpn) if qpn is not None else None
+        if state is not None:
+            gap = state.pacing_gap(
+                self.env.now, packet.wire_length + FRAME_OVERHEAD_BYTES
+            )
+            if gap > 0.0:
+                yield self.env.sleep(gap)
         # Pooled sleep: per-packet processing is the hottest delay in the
         # NIC and never composed, so it can reuse a recycled relay event.
         yield self.env.sleep(self.config.per_packet_processing_ns)
-        yield from self.cmac.tx(packet)
+        try:
+            yield from self.cmac.tx(packet)
+        except _pfc_storm_error():
+            # The switch's storm watchdog broke our pause: the frame is
+            # treated as lost (the retransmit machinery re-drives tracked
+            # PSNs once the fabric recovers) instead of parking forever.
+            self.stats["pfc_storm_drops"] += 1
+            return
         self.stats["tx_packets"] += 1
 
     # ----------------------------------------------------------- requester
@@ -425,13 +539,15 @@ class RdmaStack:
                 else None,
                 payload=payload if isinstance(payload, (bytes, bytearray)) else None,
                 payload_length=seg_len,
+                src_port=self._flow_port(qpn),
+                ecn=self._data_ecn(),
             )
             self._track(qpn, psn, packet)
             if last:
                 self._pending[qpn].append(
                     _PendingMessage(last_psn=psn, event=done, wr_id=wr_id, opcode="WRITE", length=length)
                 )
-            yield from self._send_packet(packet)
+            yield from self._send_packet(packet, qpn)
             offset += seg_len
         yield done
         self._complete_op(qpn, length)
@@ -479,10 +595,11 @@ class RdmaStack:
                 ack_request=True,
             ),
             reth=RethHeader(vaddr=remote_vaddr, rkey=qp.remote.rkey, dma_length=length),
+            src_port=self._flow_port(qpn),
         )
         self._read_collect[qpn]["request"] = packet
         self._track(qpn, start_psn, packet)
-        yield from self._send_packet(packet)
+        yield from self._send_packet(packet, qpn)
         yield done
         self._complete_op(qpn, length)
         completion = Completion(wr_id=wr_id, opcode="READ", length=length)
@@ -532,9 +649,10 @@ class RdmaStack:
                 swap_add=swap_add & 0xFFFFFFFFFFFFFFFF,
                 compare=compare & 0xFFFFFFFFFFFFFFFF,
             ),
+            src_port=self._flow_port(qpn),
         )
         self._track(qpn, psn, packet)
-        yield from self._send_packet(packet)
+        yield from self._send_packet(packet, qpn)
         original = yield done
         self._complete_op(qpn, 8)
         self.cq.put(Completion(wr_id=wr_id, opcode=RoceOpcode.name(opcode), length=8))
@@ -569,13 +687,15 @@ class RdmaStack:
                 dst_ip=qp.remote.ip,
                 bth=BthHeader(opcode=opcode, dest_qp=qp.remote.qpn, psn=psn, ack_request=True),
                 payload=payload[offset : offset + seg_len],
+                src_port=self._flow_port(qpn),
+                ecn=self._data_ecn(),
             )
             self._track(qpn, psn, packet)
             if last:
                 self._pending[qpn].append(
                     _PendingMessage(last_psn=psn, event=done, wr_id=wr_id, opcode="SEND", length=len(payload))
                 )
-            yield from self._send_packet(packet)
+            yield from self._send_packet(packet, qpn)
             offset += seg_len
         yield done
         self._complete_op(qpn, len(payload))
@@ -611,8 +731,18 @@ class RdmaStack:
                 continue  # drop traffic for unknown QPs
             if qp.state is QpState.ERROR:
                 continue  # ERROR silently discards inbound work (IB)
+            if packet.ip.ecn == ECN_CE:
+                # Congestion point marked this frame: we are the DCQCN
+                # notification point — answer with a (rate-limited) CNP.
+                self.stats["ecn_ce_received"] += 1
+                self._maybe_send_cnp(qpn, qp)
             opcode = packet.bth.opcode
-            if opcode == RoceOpcode.ACKNOWLEDGE:
+            if opcode == RoceOpcode.CNP:
+                self.stats["cnps_received"] += 1
+                state = self.qp_rates.get(qpn)
+                if state is not None:
+                    state.on_cnp(self.env.now)
+            elif opcode == RoceOpcode.ACKNOWLEDGE:
                 self._handle_ack(qpn, qp, packet)
             elif opcode == RoceOpcode.ATOMIC_ACKNOWLEDGE:
                 self._handle_atomic_ack(qpn, qp, packet)
@@ -625,6 +755,27 @@ class RdmaStack:
             else:
                 yield from self._handle_inbound_data(qpn, qp, packet)
 
+    def _maybe_send_cnp(self, qpn: int, qp: QueuePair) -> None:
+        """Generate a CNP toward the marked flow's sender, at most one
+        per QP per ``cnp_interval_ns`` (the notification-point filter).
+        Sent from a spawned process: the reverse path may itself be
+        congested or paused, and the rx loop must keep draining."""
+        interval = self.config.dcqcn.cnp_interval_ns
+        last = self._cnp_last_sent.get(qpn)
+        if last is not None and self.env.now - last < interval:
+            return
+        self._cnp_last_sent[qpn] = self.env.now
+        cnp = RocePacket.build(
+            src_mac=self.mac,
+            dst_mac=qp.remote.mac,
+            src_ip=self.ip,
+            dst_ip=qp.remote.ip,
+            bth=BthHeader(opcode=RoceOpcode.CNP, dest_qp=qp.remote.qpn, psn=0),
+            src_port=self._flow_port(qp.local.qpn),
+        )
+        self.stats["cnps_sent"] += 1
+        self.env.process(self._send_packet(cnp), name=f"{self.name}-cnp")
+
     def _ack(self, qp: QueuePair, psn: int, syndrome: int = 0) -> Generator:
         packet = RocePacket.build(
             src_mac=self.mac,
@@ -633,6 +784,7 @@ class RdmaStack:
             dst_ip=qp.remote.ip,
             bth=BthHeader(opcode=RoceOpcode.ACKNOWLEDGE, dest_qp=qp.remote.qpn, psn=psn),
             aeth=AethHeader(syndrome=syndrome, msn=qp.msn),
+            src_port=self._flow_port(qp.local.qpn),
         )
         if syndrome:
             self.stats["naks_sent"] += 1
@@ -773,8 +925,10 @@ class RdmaStack:
                 aeth=AethHeader(syndrome=0, msn=qp.msn) if RoceOpcode.has_aeth(opcode) else None,
                 payload=payload if isinstance(payload, (bytes, bytearray)) else None,
                 payload_length=seg_len,
+                src_port=self._flow_port(qpn),
+                ecn=self._data_ecn(),
             )
-            yield from self._send_packet(response)
+            yield from self._send_packet(response, qpn)
             offset += seg_len
 
     def _handle_read_response(self, qpn: int, qp: QueuePair, packet: RocePacket) -> Generator:
@@ -835,7 +989,7 @@ class RdmaStack:
             if packet is None:
                 continue  # acked while we were retransmitting earlier PSNs
             self.stats["retransmissions"] += 1
-            yield from self._send_packet(packet)
+            yield from self._send_packet(packet, qpn)
         self._last_progress[qpn] = self.env.now
 
     def _track(self, qpn: int, psn: int, packet: RocePacket) -> None:

@@ -2,32 +2,57 @@
 
 The paper's RDMA stack runs "over a switched network ... compatible with
 commodity hardware"; experiments here connect two or more simulated FPGA
-nodes (and, for tests, software peers) through this fabric.  Fault
-injection goes through the unified :mod:`repro.faults` sites (loss,
-corruption, duplication, reordering); the legacy ``drop_fn`` hook still
-works but is deprecated.
+nodes (and, for tests, software peers) through this fabric.
+
+Forwarding is no longer instantaneous: every egress port owns a
+finite, byte-accounted FIFO queue drained at line rate.  Above the
+configurable ECN threshold the queue CE-marks ECT traffic (the signal
+DCQCN endpoints react to); at capacity it tail-drops.  PFC (802.1Qbb)
+backpressure is available on top: when an ingress port's buffer share
+crosses the XOFF watermark the switch sends a pause frame upstream
+(:meth:`~repro.net.cmac.Cmac.pause`, honored with a hold timer), and
+resumes it at XON.  A pause-storm watchdog converts the classic PFC
+deadlock — a port continuously paused past ``storm_threshold_ns`` —
+into a typed :class:`repro.health.PfcStormError` (recorded, surfaced to
+``on_pfc_storm``, and delivered to parked senders) instead of a hung
+simulation; mitigation mutes PFC on the offending port.
+
+Switches compose into multi-tier fabrics: :meth:`Switch.connect_trunk`
+links two switches with a pair of egress queues, remote MACs route via
+static entries (:meth:`add_route`) or deterministic ECMP hashing over
+the uplink set — see :class:`repro.net.topology.LeafSpineTopology`.
+
+Fault injection goes through the unified :mod:`repro.faults` sites
+(loss, corruption, duplication, reordering, plus ``net.ecn_suppress``
+and ``net.pause_drop`` to break the congestion-control loop).  The
+legacy ``drop_fn`` hook has been removed; arm a
+:class:`repro.faults.FaultPlan` with a ``net.drop`` rule instead.
 """
 
 from __future__ import annotations
 
-import warnings
-from typing import Callable, Dict, Optional, Tuple
+import zlib
+from collections import deque
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..faults.plan import (
     LINK_FLAP,
     NET_CORRUPT,
     NET_DROP,
     NET_DUPLICATE,
+    NET_ECN_SUPPRESS,
     NET_PARTITION,
+    NET_PAUSE_DROP,
     NET_REORDER,
     NODE_CRASH,
 )
-from ..sim.engine import Environment
-from .cmac import Cmac
-from .headers import MacAddress
+from ..sim.engine import Environment, Event
+from .cmac import CMAC_BANDWIDTH, FRAME_OVERHEAD_BYTES, PAUSE_QUANTA_NS, Cmac
+from .headers import ECN_CE, ECN_ECT0, ECN_ECT1, MacAddress
 from .packet import RocePacket
 
-__all__ = ["Switch", "LINK_FLAP_HOLDOFF_NS"]
+__all__ = ["Switch", "SwitchConfig", "LINK_FLAP_HOLDOFF_NS", "SWITCH_LATENCY_NS"]
 
 #: Typical ToR cut-through forwarding latency.
 SWITCH_LATENCY_NS = 600.0
@@ -43,14 +68,186 @@ DUPLICATE_GAP_NS = 50.0
 LINK_FLAP_HOLDOFF_NS = 250_000.0
 
 
+@dataclass(frozen=True)
+class SwitchConfig:
+    """Per-switch congestion parameters.
+
+    The defaults are sized so uncongested workloads (anything whose
+    fan-in stays inside the requester windows) never queue deep enough
+    to mark, drop or pause — congestion behavior is opt-in via tighter
+    values.  PFC itself defaults off, mirroring the many RoCE
+    deployments that run ECN-only.
+    """
+
+    #: Per-egress-queue buffer; beyond it frames tail-drop.
+    egress_capacity_bytes: int = 1 << 20
+    #: CE-mark ECT frames arriving to a queue deeper than this.
+    ecn_threshold_bytes: int = 256 << 10
+    #: Enable 802.1Qbb pause toward ingress ports over their watermark.
+    pfc_enabled: bool = False
+    #: Ingress-port buffer share that triggers an XOFF upstream...
+    xoff_bytes: int = 512 << 10
+    #: ...and the share below which the port is XON'd again.
+    xon_bytes: int = 256 << 10
+    #: Hold duration carried by each pause frame (refreshed while over
+    #: XOFF; expiring unrefreshed is what keeps storm detection live).
+    pause_quanta_ns: float = PAUSE_QUANTA_NS
+    #: Continuous pause beyond this is a storm: typed error + PFC mute.
+    storm_threshold_ns: float = 1_000_000.0
+
+
+class _EgressPort:
+    """One output queue: byte-accounted FIFO drained at line rate.
+
+    ``deliver_fn`` hands a frame to whatever sits at the other end of
+    the link (a host CMAC via the switch's delivery-time port lookup, or
+    a peer switch's trunk ingress).  The port is itself pausable — a
+    downstream receiver (CMAC rx watermark) or peer switch asserts PFC
+    against it, freezing the drain.
+    """
+
+    def __init__(
+        self,
+        switch: "Switch",
+        label: str,
+        deliver_fn: Callable[[RocePacket], None],
+        line_rate: float = CMAC_BANDWIDTH,
+    ):
+        self.switch = switch
+        self.label = label
+        self.deliver_fn = deliver_fn
+        self.line_rate = line_rate
+        self.queue: deque = deque()  # (packet, wire_len, source, extra_delay)
+        self.queued_bytes = 0
+        self.queue_high_water = 0
+        # PFC asserted *against* this port by its downstream.
+        self.paused_until = 0.0
+        self.paused_since: Optional[float] = None
+        self.pfc_muted = False  # storm mitigation: ignore further pauses
+        self._parked: Optional[Event] = None
+        switch.env.process(self._drain(), name=f"{switch.name}-egress-{label}")
+
+    # -- downstream-asserted PFC ----------------------------------------
+
+    def pause(self, duration_ns: Optional[float] = None) -> None:
+        """PFC XOFF from the downstream device (refreshable hold)."""
+        switch = self.switch
+        switch.pause_frames_received += 1
+        if self.pfc_muted:
+            return
+        now = switch.env.now
+        if self.paused_since is None:
+            self.paused_since = now
+        elif now - self.paused_since >= switch.config.storm_threshold_ns:
+            switch._record_storm(self.label, now - self.paused_since, self)
+            return
+        until = now + (duration_ns if duration_ns is not None else switch.config.pause_quanta_ns)
+        if until > self.paused_until:
+            self.paused_until = until
+
+    def resume(self) -> None:
+        """PFC XON: the downstream caught up."""
+        self.switch.pause_resumes_received += 1
+        self.paused_since = None
+        self.paused_until = self.switch.env.now
+
+    def break_pause(self, _exc: Exception) -> None:
+        """Storm mitigation: drop the pause and ignore future ones."""
+        self.pfc_muted = True
+        self.paused_since = None
+        self.paused_until = self.switch.env.now
+
+    # -- queue ----------------------------------------------------------
+
+    def enqueue(self, packet: RocePacket, source, extra_delay: float = 0.0) -> bool:
+        """Admit one frame; returns False on tail drop."""
+        switch = self.switch
+        config = switch.config
+        wire_len = packet.wire_length + FRAME_OVERHEAD_BYTES
+        if self.queued_bytes + wire_len > config.egress_capacity_bytes:
+            switch.dropped += 1
+            switch.tail_drops += 1
+            return False
+        if (
+            packet.ip.ecn in (ECN_ECT0, ECN_ECT1)
+            and self.queued_bytes >= config.ecn_threshold_bytes
+        ):
+            faults = switch.faults
+            if faults is not None and faults.fires(NET_ECN_SUPPRESS, packet):
+                switch.ecn_suppressed += 1
+            else:
+                # Mark a *copy*: the original may sit in a sender's
+                # retransmit buffer, and a retransmission must not
+                # inherit a stale CE mark from a congested first try.
+                packet = replace(packet, ip=replace(packet.ip, ecn=ECN_CE))
+                switch.ecn_marks += 1
+        self.queue.append((packet, wire_len, source, extra_delay))
+        self.queued_bytes += wire_len
+        if self.queued_bytes > self.queue_high_water:
+            self.queue_high_water = self.queued_bytes
+        switch._ingress_bytes[source] = switch._ingress_bytes.get(source, 0) + wire_len
+        if self._parked is not None and not self._parked.triggered:
+            self._parked.succeed()
+        return True
+
+    def _drain(self):
+        env = self.switch.env
+        while True:
+            if not self.queue:
+                self._parked = Event(env)
+                yield self._parked
+                self._parked = None
+                continue
+            while env.now < self.paused_until and not self.pfc_muted:
+                yield env.timeout(self.paused_until - env.now)
+            packet, wire_len, source, extra_delay = self.queue.popleft()
+            # Cut-through: the head of the frame leaves after the fixed
+            # forwarding latency (plus any fault detour), while the queue
+            # stays occupied for the frame's full serialisation time.
+            env.process(
+                self._deliver_later(packet, self.switch.latency_ns + extra_delay)
+            )
+            yield env.timeout(wire_len / self.line_rate)
+            self.queued_bytes -= wire_len
+            self.switch._drained(source, wire_len)
+
+    def _deliver_later(self, packet: RocePacket, delay_ns: float):
+        yield self.switch.env.timeout(delay_ns)
+        self.deliver_fn(packet)
+
+
 class Switch:
     """MAC-learning-free static switch: ports are registered explicitly."""
 
-    def __init__(self, env: Environment, latency_ns: float = SWITCH_LATENCY_NS):
+    def __init__(
+        self,
+        env: Environment,
+        latency_ns: float = SWITCH_LATENCY_NS,
+        config: Optional[SwitchConfig] = None,
+        name: str = "sw",
+    ):
         self.env = env
         self.latency_ns = latency_ns
+        self.config = config if config is not None else SwitchConfig()
+        self.name = name
         self._ports: Dict[MacAddress, Cmac] = {}
-        self._drop_fn: Optional[Callable[[RocePacket], bool]] = None
+        #: Egress queues, keyed by local MAC or trunk key.
+        self._egress: Dict[object, _EgressPort] = {}
+        #: Static routes for MACs living behind a trunk.
+        self._routes: Dict[MacAddress, object] = {}
+        #: Uplink trunk keys eligible for ECMP hashing of unknown MACs.
+        self.ecmp_uplinks: List[object] = []
+        self._trunk_serial = 0
+        #: Pause handles upstream of each ingress source (a Cmac for host
+        #: ports, a peer switch's egress port for trunk ingress).
+        self._upstreams: Dict[object, object] = {}
+        #: Per-ingress-source bytes currently buffered in this switch.
+        self._ingress_bytes: Dict[object, int] = {}
+        #: When each source's continuous pause began (PFC asserted and
+        #: not yet XON'd; hold-timer expiries do not clear it).
+        self._paused_since: Dict[object, float] = {}
+        #: Storm-muted sources: PFC disabled after a detected storm.
+        self._pfc_muted: Dict[object, bool] = {}
         #: Armed :class:`repro.faults.FaultInjector`, or ``None``.
         self.faults = None
         # Cluster fault state (all dict-keyed on MacAddress; stateful,
@@ -61,8 +258,12 @@ class Switch:
         #: Wired by :class:`repro.cluster.FpgaCluster`: invoked once when a
         #: ``node.crash`` fires, with the dying port's MAC.
         self.on_node_crash: Optional[Callable[[MacAddress], None]] = None
+        #: Invoked with each typed :class:`repro.health.PfcStormError`.
+        self.on_pfc_storm: Optional[Callable[[Exception], None]] = None
+        self.pfc_storm_errors: List[Exception] = []
         self.forwarded = 0
         self.dropped = 0
+        self.tail_drops = 0
         self.corrupted = 0
         self.duplicated = 0
         self.reordered = 0
@@ -70,12 +271,21 @@ class Switch:
         self.crashes = 0
         self.link_flaps = 0
         self.partitions_created = 0
+        self.ecn_marks = 0
+        self.ecn_suppressed = 0
+        self.pause_frames_sent = 0
+        self.pause_frames_dropped = 0
+        self.pause_resumes_sent = 0
+        self.pause_frames_received = 0
+        self.pause_resumes_received = 0
+        self.pfc_storms = 0
 
     def counters(self) -> Dict[str, int]:
         """Telemetry snapshot of the fabric counters."""
         return {
             "forwarded": self.forwarded,
             "dropped": self.dropped,
+            "tail_drops": self.tail_drops,
             "corrupted": self.corrupted,
             "duplicated": self.duplicated,
             "reordered": self.reordered,
@@ -83,34 +293,84 @@ class Switch:
             "crashes": self.crashes,
             "link_flaps": self.link_flaps,
             "partitions": self.partitions_created,
+            "ecn_marks": self.ecn_marks,
+            "ecn_suppressed": self.ecn_suppressed,
+            "pause_frames_sent": self.pause_frames_sent,
+            "pause_frames_dropped": self.pause_frames_dropped,
+            "pause_frames_received": self.pause_frames_received,
+            "pfc_storms": self.pfc_storms,
         }
 
-    @property
-    def drop_fn(self) -> Optional[Callable[[RocePacket], bool]]:
-        """Legacy fault hook: return True to drop the frame (deprecated)."""
-        return self._drop_fn
-
-    @drop_fn.setter
-    def drop_fn(self, fn: Optional[Callable[[RocePacket], bool]]) -> None:
-        if fn is not None:
-            warnings.warn(
-                "Switch.drop_fn is deprecated; arm a repro.faults.FaultPlan "
-                "with a 'net.drop' FaultRule instead",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-        self._drop_fn = fn
+    # ------------------------------------------------------------ topology
 
     def attach(self, mac: MacAddress, cmac: Cmac) -> None:
         if mac in self._ports:
             raise ValueError(f"port {mac!r} already attached")
         self._ports[mac] = cmac
-        cmac.attach_wire(lambda pkt: self._ingress(pkt))
+        port = _EgressPort(self, f"host-{mac!r}", self._deliver_local)
+        self._egress[mac] = port
+        self._upstreams[mac] = cmac
+        cmac.link_partner = port
+        cmac.attach_wire(lambda pkt, src=mac: self._ingress(pkt, src))
 
     def detach(self, mac: MacAddress) -> None:
         """Unplug a port (a shell reconfiguration swapping its CMAC)."""
-        if self._ports.pop(mac, None) is None:
+        cmac = self._ports.pop(mac, None)
+        if cmac is None:
             raise ValueError(f"port {mac!r} is not attached")
+        cmac.link_partner = None
+        # The egress queue keeps draining any frames already admitted;
+        # delivery re-resolves through _ports and counts them unroutable.
+        self._egress.pop(mac, None)
+        self._upstreams.pop(mac, None)
+
+    def connect_trunk(
+        self,
+        peer: "Switch",
+        line_rate: float = CMAC_BANDWIDTH,
+        ecmp_here: bool = False,
+        ecmp_there: bool = False,
+    ) -> Tuple[object, object]:
+        """Create a bidirectional inter-switch link (a pair of egress
+        queues, one per direction).  ``ecmp_here``/``ecmp_there`` add the
+        respective direction to that switch's ECMP uplink set (what a
+        leaf does toward its spines).  Returns the two trunk keys."""
+        self._trunk_serial += 1
+        peer._trunk_serial += 1
+        key_out = f"{self.name}>{peer.name}#{self._trunk_serial}"
+        key_back = f"{peer.name}>{self.name}#{peer._trunk_serial}"
+        out_port = _EgressPort(
+            self, key_out, lambda pkt: peer._ingress(pkt, key_out), line_rate
+        )
+        back_port = _EgressPort(
+            peer, key_back, lambda pkt: self._ingress(pkt, key_back), line_rate
+        )
+        self._egress[key_out] = out_port
+        peer._egress[key_back] = back_port
+        # Pausing a trunk ingress means pausing the peer's egress queue.
+        peer._upstreams[key_out] = out_port
+        self._upstreams[key_back] = back_port
+        if ecmp_here:
+            self.ecmp_uplinks.append(key_out)
+        if ecmp_there:
+            peer.ecmp_uplinks.append(key_back)
+        return key_out, key_back
+
+    def add_route(self, mac: MacAddress, trunk_key: object) -> None:
+        """Static route: frames for ``mac`` leave via this trunk."""
+        if trunk_key not in self._egress:
+            raise ValueError(f"unknown trunk {trunk_key!r}")
+        self._routes[mac] = trunk_key
+
+    def drop_route(self, mac: MacAddress) -> None:
+        self._routes.pop(mac, None)
+
+    def egress_ports(self) -> List[Tuple[str, _EgressPort]]:
+        """Deterministically ordered (label, port) pairs for telemetry."""
+        return sorted(
+            ((port.label, port) for port in self._egress.values()),
+            key=lambda item: item[0],
+        )
 
     # ------------------------------------------------- cluster fault state
 
@@ -163,12 +423,13 @@ class Switch:
             return False
         return True
 
-    def _ingress(self, packet: RocePacket) -> None:
-        if self._drop_fn is not None and self._drop_fn(packet):
-            self.dropped += 1
-            return
+    # ------------------------------------------------------------ datapath
+
+    def _ingress(self, packet: RocePacket, source=None) -> None:
         src = packet.eth.src
         dst = packet.eth.dst
+        if source is None:
+            source = src
         # Standing cluster-fault state first: frames involving a dead
         # node, a downed link or a severed pair never reach the per-frame
         # chaos sites (their event streams only shift when cluster faults
@@ -183,7 +444,7 @@ class Switch:
         if self._pair(src, dst) in self._partitions:
             self.dropped += 1
             return
-        delay = self.latency_ns
+        extra_delay = 0.0
         copies = 1
         faults = self.faults
         if faults is not None:
@@ -215,19 +476,41 @@ class Switch:
                 return
             if faults.fires(NET_REORDER, packet):
                 self.reordered += 1
-                delay += REORDER_DETOUR_NS
+                extra_delay += REORDER_DETOUR_NS
             if faults.fires(NET_DUPLICATE, packet):
                 self.duplicated += 1
                 copies = 2
-        if packet.eth.dst not in self._ports:
+        egress = self._route(packet)
+        if egress is None:
             self.unroutable += 1
             return
-        self.forwarded += 1
+        admitted = False
         for copy in range(copies):
-            self.env.process(self._forward(packet, delay + copy * DUPLICATE_GAP_NS))
+            if egress.enqueue(packet, source, extra_delay + copy * DUPLICATE_GAP_NS):
+                admitted = True
+        if admitted:
+            # One per ingress frame (duplicate copies don't double-count),
+            # matching the pre-queueing forwarding semantics.
+            self.forwarded += 1
+        self._pfc_check(source, packet)
 
-    def _forward(self, packet: RocePacket, delay_ns: float):
-        yield self.env.timeout(delay_ns)
+    def _route(self, packet: RocePacket) -> Optional[_EgressPort]:
+        dst = packet.eth.dst
+        if dst in self._ports:
+            return self._egress.get(dst)
+        key = self._routes.get(dst)
+        if key is None:
+            uplinks = self.ecmp_uplinks
+            if not uplinks:
+                return None
+            # Deterministic ECMP: hash the flow identity (src/dst MAC +
+            # UDP source port, the RoCE entropy field) so one flow always
+            # takes one path — order within a flow is preserved.
+            flow = f"{packet.eth.src.value:012x}>{dst.value:012x}:{packet.udp.src_port}"
+            key = uplinks[zlib.crc32(flow.encode()) % len(uplinks)]
+        return self._egress.get(key)
+
+    def _deliver_local(self, packet: RocePacket) -> None:
         # Re-resolve at delivery time: the port may have been detached
         # (shell reconfiguration) while the frame was in flight — a frame
         # must never be delivered to an unplugged CMAC.
@@ -237,3 +520,72 @@ class Switch:
             self.unroutable += 1
             return
         port.deliver(packet)
+
+    # ----------------------------------------------------------------- PFC
+
+    def _pfc_check(self, source, packet: RocePacket) -> None:
+        """Ingress-pressure check, run on *every* frame from a source
+        (tail-dropped ones included — a full buffer is exactly when the
+        pause must be refreshed and the storm clock must advance)."""
+        config = self.config
+        if not config.pfc_enabled or self._pfc_muted.get(source):
+            return
+        if self._ingress_bytes.get(source, 0) < config.xoff_bytes:
+            return
+        now = self.env.now
+        since = self._paused_since.get(source)
+        if since is None:
+            self._paused_since[source] = now
+        elif now - since >= config.storm_threshold_ns:
+            self._record_storm(str(source), now - since, source_key=source)
+            return
+        if self.faults is not None and self.faults.fires(NET_PAUSE_DROP, packet):
+            self.pause_frames_dropped += 1
+            return
+        upstream = self._upstreams.get(source)
+        if upstream is not None:
+            self.pause_frames_sent += 1
+            upstream.pause(config.pause_quanta_ns)
+
+    def _drained(self, source, wire_len: int) -> None:
+        """Egress drained one frame: release the ingress accounting and
+        XON the source if it fell back under the watermark."""
+        remaining = self._ingress_bytes.get(source, 0) - wire_len
+        self._ingress_bytes[source] = remaining if remaining > 0 else 0
+        if (
+            source in self._paused_since
+            and self._ingress_bytes[source] <= self.config.xon_bytes
+        ):
+            del self._paused_since[source]
+            upstream = self._upstreams.get(source)
+            if upstream is not None:
+                self.pause_resumes_sent += 1
+                upstream.resume()
+
+    def _record_storm(
+        self, port_label: str, paused_ns: float, port=None, source_key=None
+    ) -> None:
+        """A port crossed the storm threshold: record the typed error,
+        mute PFC on it (mitigation) and unblock whatever it froze."""
+        from ..health.errors import PfcStormError  # deferred: health imports net
+
+        err = PfcStormError(
+            port=port_label,
+            paused_ns=paused_ns,
+            threshold_ns=self.config.storm_threshold_ns,
+        )
+        self.pfc_storms += 1
+        self.pfc_storm_errors.append(err)
+        if source_key is not None:
+            # Upstream-facing storm: this switch paused the source past
+            # the threshold.  Stop pausing it and fail parked senders.
+            self._pfc_muted[source_key] = True
+            self._paused_since.pop(source_key, None)
+            upstream = self._upstreams.get(source_key)
+            if upstream is not None:
+                upstream.break_pause(err)
+        if port is not None:
+            # Downstream-facing storm: our egress stayed paused too long.
+            port.break_pause(err)
+        if self.on_pfc_storm is not None:
+            self.on_pfc_storm(err)

@@ -117,6 +117,12 @@ def collect_card_metrics(driver, registry: MetricsRegistry = None) -> MetricsReg
             per_qp = rdma.qp_stats[qpn]
             _set_counter(reg, f"net.qp.{qpn}.ops", per_qp["ops"])
             _set_counter(reg, f"net.qp.{qpn}.bytes", per_qp["bytes"])
+        # DCQCN reaction-point state: the per-QP paced rate (Gbit/s) and
+        # the CNPs that shaped it.
+        for qpn in sorted(rdma.qp_rates):
+            state = rdma.qp_rates[qpn]
+            reg.gauge(f"net.qp.{qpn}.rate_gbps").set(state.current_rate * 8.0)
+            _set_counter(reg, f"net.qp.{qpn}.cnps", state.cnps)
     tcp = shell.dynamic.tcp
     if tcp is not None:
         for key, value in tcp.stats.items():
@@ -162,6 +168,32 @@ def _collect_fabric(reg: MetricsRegistry, cluster) -> None:
     _set_counter(
         reg, "net.switch_partitions", getattr(switch, "partitions_created", 0)
     )
+    # Congestion datapath: queueing, ECN marking, PFC, storm watchdog.
+    _set_counter(reg, "net.switch_tail_drops", getattr(switch, "tail_drops", 0))
+    _set_counter(reg, "net.switch_ecn_marks", getattr(switch, "ecn_marks", 0))
+    _set_counter(
+        reg, "net.switch_ecn_suppressed", getattr(switch, "ecn_suppressed", 0)
+    )
+    _set_counter(
+        reg, "net.switch_pause_frames_sent", getattr(switch, "pause_frames_sent", 0)
+    )
+    _set_counter(
+        reg,
+        "net.switch_pause_frames_received",
+        getattr(switch, "pause_frames_received", 0),
+    )
+    _set_counter(
+        reg,
+        "net.switch_pause_frames_dropped",
+        getattr(switch, "pause_frames_dropped", 0),
+    )
+    _set_counter(reg, "net.switch_pfc_storms", getattr(switch, "pfc_storms", 0))
+    egress_ports = getattr(switch, "egress_ports", None)
+    if egress_ports is not None:
+        for index, (label, port) in enumerate(egress_ports()):
+            depth = reg.gauge(f"net.port.{index}.queue_bytes")
+            depth.set(port.queued_bytes)
+            depth.high_water = max(depth.high_water, port.queue_high_water)
     _set_counter(reg, "cluster.node_crashes", getattr(cluster, "crashes", 0))
     _set_counter(reg, "cluster.node_restores", getattr(cluster, "restores", 0))
     _set_counter(reg, "cluster.node_drains", getattr(cluster, "drains", 0))

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.faults import FaultInjector, FaultPlan
+from repro.faults import FaultInjector, FaultPlan, FaultRule
 from repro.net import BthHeader, Cmac, MacAddress, RocePacket, RoceOpcode, Switch
 from repro.net.cmac import CMAC_BANDWIDTH, FRAME_OVERHEAD_BYTES
 from repro.sim import Environment
@@ -80,16 +80,21 @@ def test_switch_drop_counts():
     assert cmac_b.rx_frames == 0
 
 
-def test_legacy_drop_fn_warns_but_still_drops():
-    """``Switch.drop_fn`` is deprecated in favour of fault plans, yet
-    existing callers must keep working until it is removed."""
+def test_legacy_drop_fn_hook_removed():
+    """The deprecated ``Switch.drop_fn`` escape hatch is gone: selective
+    drops go through a ``FaultPlan`` (here: a match predicate standing in
+    for what drop_fn callers used to write)."""
     env = Environment()
     switch = Switch(env)
+    assert not hasattr(switch, "drop_fn")
     cmac_a, cmac_b = Cmac(env), Cmac(env)
     switch.attach(MAC_A, cmac_a)
     switch.attach(MAC_B, cmac_b)
-    with pytest.warns(DeprecationWarning, match="drop_fn is deprecated"):
-        switch.drop_fn = lambda pkt: True
+    plan = FaultPlan(rules=(
+        FaultRule(site="net.drop", probability=1.0,
+                  match=lambda pkt: pkt.eth.dst == MAC_B),
+    ))
+    FaultInjector(plan).arm(switch=switch)
 
     def proc():
         yield from cmac_a.tx(packet())
@@ -98,9 +103,6 @@ def test_legacy_drop_fn_warns_but_still_drops():
     env.run()
     assert switch.dropped == 1
     assert cmac_b.rx_frames == 0
-    # Clearing the hook does not warn.
-    switch.drop_fn = None
-    assert switch.drop_fn is None
 
 
 def test_duplicate_attach_rejected():

@@ -51,6 +51,22 @@ def test_ipv4_roundtrip_and_checksum():
     assert back.total_length == 100
 
 
+@settings(max_examples=50)
+@given(
+    dscp=st.integers(min_value=0, max_value=0x3F),
+    ecn=st.integers(min_value=0, max_value=3),
+)
+def test_ipv4_dscp_ecn_roundtrip(dscp, ecn):
+    """Regression: parsing used to keep only DSCP from the TOS byte,
+    silently zeroing ECN — which DCQCN's CE marks ride on."""
+    hdr = Ipv4Header(
+        src=0x0A000001, dst=0x0A000002, total_length=64, dscp=dscp, ecn=ecn
+    )
+    back = Ipv4Header.unpack(hdr.pack())
+    assert back.ecn == ecn
+    assert back.dscp == dscp
+
+
 def test_ipv4_checksum_detects_corruption():
     packed = bytearray(Ipv4Header(src=1, dst=2, total_length=64).pack())
     packed[8] ^= 0xFF  # corrupt TTL

@@ -38,6 +38,7 @@ def test_quick_suite_has_all_valid_workloads(harness, quick_results):
         "scheduler_churn",
         "engine_events",
         "ring_submit",
+        "net_incast",
     ]
 
 
@@ -74,6 +75,12 @@ def test_quick_suite_measures_real_work(harness, quick_results):
     assert ring["descriptors_per_doorbell"] > 1.0
     assert ring["full_stalls"] >= 1
     assert ring["batches"] == ring["doorbells"]
+    incast = by_name["net_incast"]["detail"]
+    # The collapse-avoidance gate: DCQCN-on beats DCQCN-off by the
+    # validator-enforced ratio and converges to a fair allocation.
+    assert incast["collapse_ratio"] >= harness.NET_COLLAPSE_RATIO_BOUND
+    assert incast["jain_on"] >= harness.NET_FAIRNESS_BOUND
+    assert incast["tail_drops_on"] < incast["tail_drops_off"]
 
 
 def test_validator_rejects_malformed_results(harness, quick_results):
